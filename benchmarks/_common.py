@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness (see conftest.py for fixtures)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.parameter_space import ParameterSpace
+
+#: Directory where the regenerated figures/tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_space() -> ParameterSpace:
+    """The parameter space used by the harness (reduced unless overridden).
+
+    Set ``REPRO_BENCH_FULL=1`` to sweep the full Table 3 space.
+    """
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return ParameterSpace.paper()
+    return ParameterSpace.reduced()
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one regenerated artefact under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The coarse-grained Nash-equilibrium evaluation (paper Figures 10 and 11).
+
+Trains one autotuner per Table 4 system, tunes Nash-style instances across a
+range of problem sizes, and prints the exhaustive-vs-autotuned comparison the
+paper reports: the learned heuristics recover ~98% of the performance an
+exhaustive search of the tuning space would find.
+
+Run:  python examples/nash_equilibrium_study.py            (reduced space, ~1 min)
+      REPRO_BENCH_FULL=1 python examples/nash_equilibrium_study.py   (full Table 3 space)
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis.speedup import autotune_speedup_summary
+from repro.apps.nash import NASH_DSIZE, NASH_TSIZE
+from repro.autotuner.tuner import AutoTuner
+from repro.core.parameter_space import ParameterSpace
+from repro.core.params import InputParams
+from repro.hardware import platforms
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    space = (
+        ParameterSpace.paper()
+        if os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+        else ParameterSpace.reduced()
+    )
+    nash_instances = [
+        InputParams(dim=dim, tsize=NASH_TSIZE, dsize=NASH_DSIZE) for dim in space.dims
+    ]
+
+    rows = []
+    fractions = []
+    for system in platforms.ALL_SYSTEMS:
+        print(f"Training the autotuner for {system.name} ...")
+        tuner = AutoTuner(system, space=space).train()
+        summary = autotune_speedup_summary(tuner, nash_instances)
+        fractions.append(summary.achieved_fraction)
+        rows.append(summary.as_row())
+
+        # Show the actual tuning decisions for the Nash application.
+        print(f"  tuned configurations ({system.name}):")
+        for params in nash_instances:
+            config = tuner.tune(params)
+            print(
+                f"    dim={params.dim:<5d} -> {config.describe():<55s} "
+                f"predicted rtime {tuner.predicted_rtime(params, config):7.2f}s"
+            )
+
+    print()
+    print(
+        format_table(
+            ["system", "instances", "exhaustive speedup", "autotuned speedup", "achieved fraction"],
+            rows,
+            title="Figure 10 — Nash application: autotuned vs exhaustive (speedup over serial)",
+            float_fmt=".2f",
+        )
+    )
+    print(
+        f"\nMean achieved fraction across systems: {np.mean(fractions):.1%} "
+        "(the paper reports ~98%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

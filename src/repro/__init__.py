@@ -1,0 +1,50 @@
+"""repro — reproduction of Mohanty & Cole, "Autotuning Wavefront Applications
+for Multicore Multi-GPU Hybrid Architectures" (PMAM 2014).
+
+The package provides:
+
+* :mod:`repro.core` — the wavefront pattern abstraction, tunable-parameter
+  model and the three-phase hybrid decomposition.
+* :mod:`repro.hardware` — heterogeneous platform descriptions (Table 4 of the
+  paper) and the analytic cost model used in place of the 2014 testbed.
+* :mod:`repro.device` — a simulated OpenCL-like harness (contexts, buffers,
+  command queues, kernels, work-groups).
+* :mod:`repro.runtime` — serial, tiled CPU-parallel, single-GPU, multi-GPU and
+  hybrid three-phase executors with both *functional* and *simulate* modes.
+* :mod:`repro.apps` — the synthetic training application and the real
+  evaluation applications (Nash equilibrium, biological sequence comparison,
+  0/1 knapsack).
+* :mod:`repro.ml` — from-scratch machine-learning substrate: REP trees, M5P
+  model trees, linear SVM, linear regression and cross-validation.
+* :mod:`repro.autotuner` — exhaustive search, training-set generation and the
+  learned autotuner.
+* :mod:`repro.analysis` — helpers that regenerate the paper's figures
+  (heatmaps, speedups, average-case aggregates, dispersion statistics).
+"""
+
+from __future__ import annotations
+
+from repro.version import __version__
+from repro.core.params import InputParams, TunableParams
+from repro.core.pattern import WavefrontProblem, WavefrontKernel
+from repro.core.plan import ThreePhasePlan
+from repro.hardware import platforms
+from repro.hardware.system import SystemSpec
+from repro.runtime.hybrid import HybridExecutor
+from repro.runtime.result import ExecutionResult
+from repro.autotuner.tuner import AutoTuner, autotune_and_run
+
+__all__ = [
+    "__version__",
+    "InputParams",
+    "TunableParams",
+    "WavefrontProblem",
+    "WavefrontKernel",
+    "ThreePhasePlan",
+    "SystemSpec",
+    "platforms",
+    "HybridExecutor",
+    "ExecutionResult",
+    "AutoTuner",
+    "autotune_and_run",
+]

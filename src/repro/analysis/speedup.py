@@ -1,0 +1,122 @@
+"""Figures 6 and 10: speedup summaries.
+
+Figure 6 compares the best exhaustive points against the three simple
+schemes (serial, parallel CPU, GPU only).  Figure 10 compares the speedup
+over the sequential baseline achieved by the autotuner against the speedup
+achieved by the exhaustive search, per system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import SearchError
+from repro.core.params import InputParams
+from repro.autotuner.baselines import simple_scheme_times
+from repro.autotuner.exhaustive import SearchResults
+from repro.autotuner.tuner import AutoTuner
+from repro.hardware.system import SystemSpec
+
+
+@dataclass
+class SchemeSpeedups:
+    """Average speedup of the best exhaustive points over the simple schemes."""
+
+    system: str
+    n_instances: int
+    vs_serial: float
+    vs_cpu_parallel: float
+    vs_gpu_only: float
+    max_vs_serial: float
+
+    def as_row(self) -> list[object]:
+        return [
+            self.system,
+            self.n_instances,
+            self.vs_serial,
+            self.vs_cpu_parallel,
+            self.vs_gpu_only,
+            self.max_vs_serial,
+        ]
+
+
+def scheme_speedup_summary(
+    system: SystemSpec, results: SearchResults, instances: list[InputParams] | None = None
+) -> SchemeSpeedups:
+    """Figure 6 data: best-point speedups over the three simple schemes."""
+    instances = instances if instances is not None else results.instances()
+    if not instances:
+        raise SearchError("no instances to summarise")
+    vs_serial, vs_cpu, vs_gpu = [], [], []
+    for params in instances:
+        best = results.best(params)
+        schemes = simple_scheme_times(system, params)
+        speedups = schemes.speedups_of(best.rtime)
+        vs_serial.append(speedups["vs_serial"])
+        vs_cpu.append(speedups["vs_cpu_parallel"])
+        if np.isfinite(speedups["vs_gpu_only"]):
+            vs_gpu.append(speedups["vs_gpu_only"])
+    return SchemeSpeedups(
+        system=system.name,
+        n_instances=len(instances),
+        vs_serial=float(np.mean(vs_serial)),
+        vs_cpu_parallel=float(np.mean(vs_cpu)),
+        vs_gpu_only=float(np.mean(vs_gpu)) if vs_gpu else float("nan"),
+        max_vs_serial=float(np.max(vs_serial)),
+    )
+
+
+@dataclass
+class AutotuneSpeedups:
+    """Figure 10 data for one system: exhaustive vs autotuned speedups."""
+
+    system: str
+    n_instances: int
+    exhaustive_speedup: float
+    autotuned_speedup: float
+
+    @property
+    def achieved_fraction(self) -> float:
+        """Fraction of the exhaustive speedup the autotuner achieves."""
+        if self.exhaustive_speedup <= 0:
+            return 0.0
+        return self.autotuned_speedup / self.exhaustive_speedup
+
+    def as_row(self) -> list[object]:
+        return [
+            self.system,
+            self.n_instances,
+            self.exhaustive_speedup,
+            self.autotuned_speedup,
+            self.achieved_fraction,
+        ]
+
+
+def autotune_speedup_summary(
+    tuner: AutoTuner, instances: list[InputParams]
+) -> AutotuneSpeedups:
+    """Figure 10 data: average speedups over serial, exhaustive vs autotuned."""
+    if not tuner.trained:
+        raise SearchError("the AutoTuner must be trained before summarising it")
+    if not instances:
+        raise SearchError("no instances to summarise")
+    exhaustive, autotuned = [], []
+    for params in instances:
+        serial = tuner.cost_model.baseline_serial(params)
+        best_rtime = min(
+            (r.rtime for r in tuner.search.sweep_instance(params) if not r.exceeded_threshold),
+            default=None,
+        )
+        if best_rtime is None:
+            best_rtime = min(r.rtime for r in tuner.search.sweep_instance(params))
+        tuned_rtime = tuner.predicted_rtime(params)
+        exhaustive.append(serial / best_rtime)
+        autotuned.append(serial / tuned_rtime)
+    return AutotuneSpeedups(
+        system=tuner.system.name,
+        n_instances=len(instances),
+        exhaustive_speedup=float(np.mean(exhaustive)),
+        autotuned_speedup=float(np.mean(autotuned)),
+    )

@@ -1,0 +1,33 @@
+"""Wavefront applications.
+
+* :class:`repro.apps.synthetic.SyntheticApp` — the parameterisable synthetic
+  application used to train the autotuner (Section 3.1);
+* :class:`repro.apps.nash.NashEquilibriumApp` — the coarse-grained
+  game-theoretic evaluation application (Section 3.2.1);
+* :class:`repro.apps.sequence.SequenceComparisonApp` — Smith-Waterman
+  biological sequence comparison, the fine-grained evaluation application;
+* :class:`repro.apps.knapsack.KnapsackApp` — the 0/1 knapsack dynamic
+  program mentioned as future work (Section 6), included as an extension.
+"""
+
+from repro.apps.base import WavefrontApplication
+from repro.apps.synthetic import SyntheticApp, SyntheticKernel
+from repro.apps.nash import NashEquilibriumApp, NashKernel
+from repro.apps.sequence import SequenceComparisonApp, SmithWatermanKernel, random_dna
+from repro.apps.knapsack import KnapsackApp, KnapsackKernel
+from repro.apps.registry import APPLICATIONS, get_application
+
+__all__ = [
+    "WavefrontApplication",
+    "SyntheticApp",
+    "SyntheticKernel",
+    "NashEquilibriumApp",
+    "NashKernel",
+    "SequenceComparisonApp",
+    "SmithWatermanKernel",
+    "random_dna",
+    "KnapsackApp",
+    "KnapsackKernel",
+    "APPLICATIONS",
+    "get_application",
+]

@@ -1,0 +1,86 @@
+"""0/1 knapsack dynamic program — the paper's "future work" extension.
+
+Section 6 of the paper names the 0/1 knapsack problem as the next dynamic
+programming pattern the framework should support.  The general knapsack
+recurrence reaches back an arbitrary number of columns (``w - weight[i]``),
+which falls outside the strict wavefront stencil the framework supports; the
+wavefront-expressible special case implemented here is the *unit-weight*
+knapsack, where every item weighs one unit:
+
+    V[i, w] = max(V[i-1, w], V[i-1, w-1] + value[i])
+
+i.e. exactly the north / north-west dependencies of the wavefront pattern.
+Row ``i`` considers the first ``i`` items and column ``w`` the capacity used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import WavefrontApplication
+from repro.core.exceptions import InvalidParameterError
+from repro.core.pattern import WavefrontKernel
+from repro.utils.rng import make_rng
+
+#: Synthetic-scale granularity: comparable to Smith-Waterman (a max + add).
+KNAPSACK_TSIZE = 0.5
+#: No per-cell payload beyond the DP value itself.
+KNAPSACK_DSIZE = 0
+
+
+class KnapsackKernel(WavefrontKernel):
+    """Unit-weight 0/1 knapsack recurrence."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.size < 1:
+            raise InvalidParameterError("values must be a non-empty 1-D array")
+        if np.any(values < 0):
+            raise InvalidParameterError("item values must be non-negative")
+        self.values = values
+        self.tsize = KNAPSACK_TSIZE
+        self.dsize = KNAPSACK_DSIZE
+        self.name = "knapsack"
+
+    def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        item_value = self.values[i % self.values.size]
+        # Capacity 0 (first column) can hold nothing: taking the item is only
+        # allowed when at least one unit of capacity is used (j >= 1).
+        take = np.where(j >= 1, northwest + item_value, 0.0)
+        skip = north
+        return np.maximum(take, skip)
+
+    def optimum(self, capacity: int, n_items: int | None = None) -> float:
+        """Reference optimum computed directly (greedy on the best values).
+
+        With unit weights the optimal choice is simply the ``capacity`` most
+        valuable items among the first ``n_items``; the tests use this to
+        validate the DP grid.
+        """
+        if capacity < 0:
+            raise InvalidParameterError(f"capacity must be >= 0, got {capacity}")
+        n_items = self.values.size if n_items is None else n_items
+        pool = np.sort(self.values[:n_items])[::-1]
+        return float(np.sum(pool[: min(capacity, pool.size)]))
+
+
+class KnapsackApp(WavefrontApplication):
+    """Unit-weight 0/1 knapsack application with random item values."""
+
+    name = "knapsack"
+    default_dim = 128
+
+    def __init__(self, dim: int | None = None, seed: int | None = None, max_value: float = 10.0) -> None:
+        if max_value <= 0:
+            raise InvalidParameterError(f"max_value must be positive, got {max_value}")
+        if dim is not None:
+            self.default_dim = int(dim)
+        self.seed = seed
+        self.max_value = float(max_value)
+
+    def make_kernel(self) -> KnapsackKernel:
+        rng = make_rng(self.seed)
+        values = rng.uniform(0.0, self.max_value, size=self.default_dim)
+        return KnapsackKernel(values)

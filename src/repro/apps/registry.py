@@ -1,0 +1,38 @@
+"""Registry of the available wavefront applications."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import WavefrontApplication
+from repro.apps.knapsack import KnapsackApp
+from repro.apps.nash import NashEquilibriumApp
+from repro.apps.sequence import SequenceComparisonApp
+from repro.apps.synthetic import SyntheticApp
+
+#: Application factories by name; each factory takes no required arguments.
+APPLICATIONS: dict[str, Callable[[], WavefrontApplication]] = {
+    "synthetic": SyntheticApp,
+    "nash-equilibrium": NashEquilibriumApp,
+    "sequence-comparison": SequenceComparisonApp,
+    "knapsack": KnapsackApp,
+}
+
+
+def get_application(name: str, **kwargs) -> WavefrontApplication:
+    """Build a registered application by name.
+
+    Keyword arguments are forwarded to the application's constructor, e.g.
+    ``get_application("synthetic", dim=256, tsize=750)``.
+    """
+    try:
+        factory = APPLICATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLICATIONS))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_applications() -> list[str]:
+    """Names of all registered applications, sorted."""
+    return sorted(APPLICATIONS)

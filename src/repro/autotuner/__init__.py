@@ -1,0 +1,41 @@
+"""Autotuning framework.
+
+The workflow mirrors Figure 4 of the paper:
+
+1. :class:`repro.autotuner.exhaustive.ExhaustiveSearch` sweeps the synthetic
+   application over the Table 3 parameter space on one platform and records
+   the runtime of every configuration (with the 90-second threshold);
+2. :class:`repro.autotuner.training.TrainingSetBuilder` samples instances and
+   keeps the best five configurations of each, producing the training set;
+3. :class:`repro.autotuner.models.LearnedTuner` holds the fitted SVM gate and
+   the per-parameter M5P / REP-tree models;
+4. :class:`repro.autotuner.tuner.AutoTuner` ties it together: train once per
+   system ("in the factory"), then hand it previously unseen applications and
+   get tuned parameter settings back.
+"""
+
+from repro.autotuner.search_space import SearchSpace
+from repro.autotuner.exhaustive import ExhaustiveSearch, SearchRecord, SearchResults
+from repro.autotuner.random_search import RandomSearch
+from repro.autotuner.baselines import SimpleSchemes, simple_scheme_times
+from repro.autotuner.training import TrainingSetBuilder, TrainingSet
+from repro.autotuner.models import LearnedTuner
+from repro.autotuner.tuner import AutoTuner, autotune_and_run
+from repro.autotuner.persistence import save_tuner, load_tuner
+
+__all__ = [
+    "SearchSpace",
+    "ExhaustiveSearch",
+    "SearchRecord",
+    "SearchResults",
+    "RandomSearch",
+    "SimpleSchemes",
+    "simple_scheme_times",
+    "TrainingSetBuilder",
+    "TrainingSet",
+    "LearnedTuner",
+    "AutoTuner",
+    "autotune_and_run",
+    "save_tuner",
+    "load_tuner",
+]

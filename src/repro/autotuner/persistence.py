@@ -1,0 +1,40 @@
+"""Saving and loading trained tuners.
+
+The paper's deployment scenario trains the models "in the factory" and ships
+them with the library; these helpers serialise a fitted
+:class:`repro.autotuner.models.LearnedTuner` to JSON and restore it without
+re-running the exhaustive search.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.autotuner.models import LearnedTuner
+from repro.core.exceptions import SearchError
+from repro.utils.serialization import load_json, save_json
+
+#: Format marker written into every tuner file.
+FORMAT_VERSION = 1
+
+
+def save_tuner(tuner: LearnedTuner, path: str | Path) -> Path:
+    """Serialise a fitted tuner to ``path`` (JSON)."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "tuner": tuner.to_dict(),
+    }
+    return save_json(payload, path)
+
+
+def load_tuner(path: str | Path) -> LearnedTuner:
+    """Restore a tuner saved by :func:`save_tuner`."""
+    payload = load_json(path)
+    if not isinstance(payload, dict) or "tuner" not in payload:
+        raise SearchError(f"{path} does not contain a serialised tuner")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SearchError(
+            f"unsupported tuner format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    return LearnedTuner.from_dict(payload["tuner"])

@@ -1,0 +1,68 @@
+"""Random search baseline over the tuning space.
+
+Section 4.1.4 of the paper asks whether "simple random methods might
+suffice" given the sensitivity of the best points; this class makes that
+comparison concrete: sample ``n`` random configurations of an instance and
+keep the best.  The sensitivity-analysis bench compares its result against
+the exhaustive optimum and the learned tuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import SearchError
+from repro.core.parameter_space import ParameterSpace
+from repro.core.params import InputParams, TunableParams
+from repro.hardware.costmodel import CostConstants, CostModel
+from repro.hardware.system import SystemSpec
+from repro.autotuner.search_space import SearchSpace
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class RandomSearchResult:
+    """Best configuration found by one random-search run."""
+
+    tunables: TunableParams
+    rtime: float
+    evaluations: int
+
+
+class RandomSearch:
+    """Uniform random sampling of the configuration space of one instance."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        space: ParameterSpace | None = None,
+        constants: CostConstants | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.system = system
+        self.space = space if space is not None else ParameterSpace.reduced()
+        self.search_space = SearchSpace(self.space, system)
+        self.cost_model = CostModel(system, constants)
+        self.seed = seed
+
+    def run(self, params: InputParams, budget: int = 20) -> RandomSearchResult:
+        """Evaluate ``budget`` random configurations and return the best."""
+        if budget < 1:
+            raise SearchError(f"budget must be >= 1, got {budget}")
+        configurations = self.search_space.configurations(params)
+        if not configurations:
+            raise SearchError(f"no configurations available for instance {params}")
+        rng = make_rng(self.seed)
+        picks = rng.choice(len(configurations), size=min(budget, len(configurations)), replace=False)
+        best_tunables: TunableParams | None = None
+        best_rtime = float("inf")
+        for index in picks:
+            tunables = configurations[int(index)]
+            rtime = self.cost_model.predict(params, tunables)
+            if rtime < best_rtime:
+                best_rtime = rtime
+                best_tunables = tunables
+        assert best_tunables is not None
+        return RandomSearchResult(
+            tunables=best_tunables, rtime=best_rtime, evaluations=len(picks)
+        )

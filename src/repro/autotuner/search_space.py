@@ -1,0 +1,60 @@
+"""The search space explored on one platform.
+
+Couples a :class:`repro.core.parameter_space.ParameterSpace` (what the paper
+sweeps, Table 3) with a :class:`repro.hardware.system.SystemSpec` (what the
+platform can actually run — e.g. the i3-540 has one GPU, so the halo
+dimension collapses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.parameter_space import ParameterSpace
+from repro.core.params import InputParams, TunableParams
+from repro.hardware.system import SystemSpec
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Parameter space restricted to what ``system`` supports."""
+
+    space: ParameterSpace
+    system: SystemSpec
+
+    @property
+    def max_gpus(self) -> int:
+        """GPUs the tuner may use on this system (the paper caps this at 2)."""
+        return self.system.max_usable_gpus
+
+    def instances(self) -> Iterator[InputParams]:
+        """All (dim, tsize, dsize) instances of the space."""
+        return self.space.instances()
+
+    def configurations(self, instance: InputParams) -> list[TunableParams]:
+        """Distinct tunable configurations explored for ``instance``."""
+        seen: set[TunableParams] = set()
+        out: list[TunableParams] = []
+        for config in self.space.configurations(instance, max_gpus=self.max_gpus):
+            if config not in seen:
+                seen.add(config)
+                out.append(config)
+        return out
+
+    def size_estimate(self) -> int:
+        """Approximate number of (instance, configuration) points in the sweep."""
+        total = 0
+        for dim in self.space.dims:
+            probe = InputParams(dim=dim, tsize=self.space.tsizes[0], dsize=self.space.dsizes[0])
+            per_dim = len(self.configurations(probe))
+            total += per_dim * len(self.space.tsizes) * len(self.space.dsizes)
+        return total
+
+    def describe(self) -> dict[str, object]:
+        """Summary used by the Table 3 bench."""
+        info = self.space.describe()
+        info["system"] = self.system.name
+        info["max_gpus"] = self.max_gpus
+        info["size_estimate"] = self.size_estimate()
+        return info

@@ -1,0 +1,198 @@
+"""The autotuner facade: train once per system, deploy on unseen applications.
+
+This module ties the whole Figure 4 workflow together:
+
+* :meth:`AutoTuner.train` runs the exhaustive sweep of the synthetic
+  application (simulate mode), builds the training set and fits the
+  :class:`repro.autotuner.models.LearnedTuner`;
+* :meth:`AutoTuner.tune` maps a previously unseen problem's (dim, tsize,
+  dsize) features to tuned parameter settings;
+* :meth:`AutoTuner.efficiency` measures the fraction of the exhaustive-search
+  optimum the tuned configuration achieves (the paper reports 98% on
+  average, Figure 10);
+* :func:`autotune_and_run` is the one-call convenience used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ModelNotFittedError, SearchError
+from repro.core.parameter_space import ParameterSpace
+from repro.core.params import InputParams, TunableParams
+from repro.core.pattern import WavefrontProblem
+from repro.apps.base import WavefrontApplication
+from repro.autotuner.exhaustive import ExhaustiveSearch, SearchResults
+from repro.autotuner.models import LearnedTuner
+from repro.autotuner.training import TrainingSetBuilder, TrainingSet
+from repro.hardware.costmodel import CostConstants, CostModel
+from repro.hardware.system import SystemSpec
+from repro.runtime.executor_base import ExecutionMode
+from repro.runtime.hybrid import HybridExecutor
+from repro.runtime.result import ExecutionResult
+
+
+@dataclass
+class ValidationSummary:
+    """Cross-validation of the tuner on held-out synthetic instances."""
+
+    instances: int = 0
+    mean_efficiency: float = 0.0
+    min_efficiency: float = 0.0
+    per_instance: dict[InputParams, float] = field(default_factory=dict)
+
+
+class AutoTuner:
+    """Machine-learning autotuner for one target system."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        space: ParameterSpace | None = None,
+        constants: CostConstants | None = None,
+        builder: TrainingSetBuilder | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.system = system
+        self.space = space if space is not None else ParameterSpace.reduced()
+        self.constants = constants
+        self.builder = builder if builder is not None else TrainingSetBuilder()
+        self.seed = seed
+        self.cost_model = CostModel(system, constants)
+        self.search = ExhaustiveSearch(system, self.space, constants)
+        self.results: SearchResults | None = None
+        self.training: TrainingSet | None = None
+        self.model: LearnedTuner | None = None
+        self.validation: ValidationSummary | None = None
+
+    # ------------------------------------------------------------------
+    # Training ("in the factory")
+    # ------------------------------------------------------------------
+    def train(self, instances=None) -> "AutoTuner":
+        """Sweep the synthetic application, build the training set, fit models."""
+        self.results = self.search.sweep(instances)
+        self.training = self.builder.build(self.results)
+        self.model = LearnedTuner(
+            system_name=self.system.name,
+            supports_gpu=self.system.has_gpu,
+            supports_dual_gpu=self.system.max_usable_gpus >= 2,
+        ).fit(self.training)
+        self.validation = self._cross_validate()
+        return self
+
+    def _cross_validate(self) -> ValidationSummary:
+        """Tuned-vs-optimal efficiency on the held-out synthetic instances."""
+        assert self.results is not None and self.training is not None and self.model is not None
+        holdout = self.training.holdout_instances or self.training.train_instances
+        per_instance: dict[InputParams, float] = {}
+        for params in holdout:
+            per_instance[params] = self.efficiency(params)
+        values = np.array(list(per_instance.values())) if per_instance else np.array([0.0])
+        return ValidationSummary(
+            instances=len(per_instance),
+            mean_efficiency=float(values.mean()),
+            min_efficiency=float(values.min()),
+            per_instance=per_instance,
+        )
+
+    @property
+    def trained(self) -> bool:
+        return self.model is not None and self.model.fitted
+
+    def _check_trained(self) -> None:
+        if not self.trained:
+            raise ModelNotFittedError("AutoTuner.tune() called before train()")
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def tune(self, target: WavefrontProblem | InputParams | WavefrontApplication) -> TunableParams:
+        """Predict tuned parameter settings for an unseen problem."""
+        self._check_trained()
+        params = self._as_input_params(target)
+        return self.model.predict(params.features())
+
+    def predicted_rtime(self, target, tunables: TunableParams | None = None) -> float:
+        """Cost-model runtime of the tuned (or given) configuration."""
+        params = self._as_input_params(target)
+        tunables = tunables if tunables is not None else self.tune(params)
+        return self.cost_model.predict(params, tunables)
+
+    def efficiency(self, target) -> float:
+        """Fraction of the exhaustive-search optimum achieved by the tuner.
+
+        Values slightly above 1.0 are possible (and observed in the paper for
+        the i3-540): the regression models may pick parameter values between
+        the grid points the finite search explored.
+        """
+        self._check_trained()
+        params = self._as_input_params(target)
+        tuned_rtime = self.predicted_rtime(params)
+        if self.results is not None and params in set(self.results.instances()):
+            best_rtime = self.results.best(params).rtime
+        else:
+            best_rtime = min(
+                (r.rtime for r in self.search.sweep_instance(params) if not r.exceeded_threshold),
+                default=tuned_rtime,
+            )
+        if tuned_rtime <= 0:
+            raise SearchError("tuned configuration has non-positive runtime")
+        return best_rtime / tuned_rtime
+
+    def speedup_over_serial(self, target) -> float:
+        """Speedup of the tuned configuration over the serial baseline."""
+        params = self._as_input_params(target)
+        return self.cost_model.baseline_serial(params) / self.predicted_rtime(params)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_input_params(target) -> InputParams:
+        if isinstance(target, InputParams):
+            return target
+        if isinstance(target, WavefrontProblem):
+            return target.input_params()
+        if isinstance(target, WavefrontApplication):
+            return target.input_params()
+        raise SearchError(
+            f"cannot derive input parameters from object of type {type(target).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def quick(cls, system: SystemSpec, seed: int | None = None) -> "AutoTuner":
+        """A small, fast tuner (reduced space) — used by examples and tests."""
+        return cls(system, space=ParameterSpace.reduced(), seed=seed).train()
+
+
+# ----------------------------------------------------------------------
+# Convenience entry point
+# ----------------------------------------------------------------------
+_TUNER_CACHE: dict[str, AutoTuner] = {}
+
+
+def autotune_and_run(
+    app: WavefrontApplication | WavefrontProblem,
+    system: SystemSpec,
+    mode: ExecutionMode | str = ExecutionMode.SIMULATE,
+    tuner: AutoTuner | None = None,
+    use_cache: bool = True,
+) -> ExecutionResult:
+    """Train (or reuse) a tuner for ``system``, tune ``app`` and execute it.
+
+    ``mode`` defaults to ``simulate`` because the functional mode really
+    computes every cell and is only sensible for small grids; the quickstart
+    example shows both.
+    """
+    problem = app.problem() if isinstance(app, WavefrontApplication) else app
+    if tuner is None:
+        if use_cache and system.name in _TUNER_CACHE:
+            tuner = _TUNER_CACHE[system.name]
+        else:
+            tuner = AutoTuner.quick(system)
+            if use_cache:
+                _TUNER_CACHE[system.name] = tuner
+    tunables = tuner.tune(problem)
+    executor = HybridExecutor(system, tuner.constants)
+    return executor.execute(problem, tunables, mode=mode)

@@ -1,0 +1,141 @@
+"""Command-line interface to the autotuning framework.
+
+Three subcommands cover the deployment workflow of the paper:
+
+* ``repro-tune systems`` — list the built-in Table 4 platforms;
+* ``repro-tune sweep --system i7-2600K`` — run the exhaustive sweep of the
+  synthetic application and print the Figure 5 band heatmap;
+* ``repro-tune tune --system i7-3820 --app nash-equilibrium --dim 1900`` —
+  train the autotuner and print the tuned parameter settings (optionally
+  saving/loading the trained model so training happens only once).
+
+The CLI is intentionally thin: it only wires command-line arguments to the
+public library API, so everything it does can also be done programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.heatmap import build_heatmap
+from repro.analysis.report import render_heatmap
+from repro.apps.registry import available_applications, get_application
+from repro.autotuner.exhaustive import ExhaustiveSearch
+from repro.autotuner.persistence import load_tuner, save_tuner
+from repro.autotuner.tuner import AutoTuner
+from repro.core.parameter_space import ParameterSpace
+from repro.hardware import platforms
+from repro.utils.logging import configure_logging
+
+
+def _space(name: str) -> ParameterSpace:
+    spaces = {
+        "paper": ParameterSpace.paper,
+        "reduced": ParameterSpace.reduced,
+        "tiny": ParameterSpace.tiny,
+    }
+    try:
+        return spaces[name]()
+    except KeyError:
+        raise SystemExit(f"unknown parameter space {name!r}; choose from {sorted(spaces)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tune",
+        description="Autotune wavefront applications for CPU + multi-GPU systems "
+        "(reproduction of Mohanty & Cole, PMAM 2014).",
+    )
+    parser.add_argument("--verbose", action="store_true", help="enable debug logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list the built-in Table 4 systems")
+
+    sweep = sub.add_parser("sweep", help="exhaustive sweep of the synthetic application")
+    sweep.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
+    sweep.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
+    sweep.add_argument("--dsize", type=int, default=1, help="element payload size slice to report")
+
+    tune = sub.add_parser("tune", help="train (or load) the tuner and tune one application instance")
+    tune.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
+    tune.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
+    tune.add_argument("--app", default="synthetic", choices=available_applications())
+    tune.add_argument("--dim", type=int, default=1900, help="problem size (grid side length)")
+    tune.add_argument("--tsize", type=float, default=None, help="override the app's task granularity (synthetic only)")
+    tune.add_argument("--dsize", type=int, default=None, help="override the app's data granularity (synthetic only)")
+    tune.add_argument("--save-model", type=Path, default=None, help="save the trained models as JSON")
+    tune.add_argument("--load-model", type=Path, default=None, help="load previously trained models instead of training")
+    return parser
+
+
+def cmd_systems() -> int:
+    for system in platforms.ALL_SYSTEMS:
+        print(system.describe())
+        print()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    system = platforms.get_system(args.system)
+    results = ExhaustiveSearch(system, _space(args.space)).sweep()
+    print(f"{len(results)} configuration points over {len(results.instances())} instances\n")
+    print(render_heatmap(build_heatmap(results, dsize=args.dsize, quantity="band")))
+    if system.max_usable_gpus >= 2:
+        print()
+        print(render_heatmap(build_heatmap(results, dsize=args.dsize, quantity="halo")))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    system = platforms.get_system(args.system)
+    tuner = AutoTuner(system, space=_space(args.space))
+    if args.load_model is not None:
+        tuner.model = load_tuner(args.load_model)
+        print(f"loaded trained models from {args.load_model}")
+    else:
+        print(f"training the autotuner for {system.name} ...")
+        tuner.train()
+        print(
+            f"  held-out efficiency: mean {tuner.validation.mean_efficiency:.1%}, "
+            f"min {tuner.validation.min_efficiency:.1%}"
+        )
+        if args.save_model is not None:
+            save_tuner(tuner.model, args.save_model)
+            print(f"  saved trained models to {args.save_model}")
+
+    app_kwargs = {"dim": args.dim}
+    if args.app == "synthetic":
+        if args.tsize is not None:
+            app_kwargs["tsize"] = args.tsize
+        if args.dsize is not None:
+            app_kwargs["dsize"] = args.dsize
+    app = get_application(args.app, **app_kwargs)
+    problem = app.problem(args.dim)
+    params = problem.input_params()
+    config = tuner.tune(params)
+    print(f"\napplication: {problem.name}  (dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})")
+    print(f"tuned configuration: {config.describe()}")
+    rtime = tuner.predicted_rtime(params, config)
+    serial = tuner.cost_model.baseline_serial(params)
+    print(f"predicted runtime: {rtime:.3f}s  (serial baseline {serial:.3f}s, {serial / rtime:.1f}x speedup)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose)
+    if args.command == "systems":
+        return cmd_systems()
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "tune":
+        return cmd_tune(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything the library raises deliberately with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An input or tunable parameter is outside its legal range.
+
+    Raised by :class:`repro.core.params.InputParams` /
+    :class:`repro.core.params.TunableParams` validation and by the parameter
+    space when an inconsistent combination is requested (e.g. a halo value
+    with a single GPU).
+    """
+
+
+class PlanError(ReproError):
+    """A three-phase plan could not be constructed or is inconsistent."""
+
+
+class PartitionError(ReproError):
+    """A diagonal could not be partitioned across the requested devices."""
+
+
+class KernelError(ReproError):
+    """A wavefront kernel produced invalid output or was misconfigured."""
+
+
+class DeviceError(ReproError):
+    """An operation on the simulated device layer was invalid.
+
+    Examples: reading a buffer that was never written, enqueuing a kernel on
+    a released context, exceeding device memory.
+    """
+
+
+class ExecutionError(ReproError):
+    """A runtime executor failed to complete an execution."""
+
+
+class ModelNotFittedError(ReproError):
+    """A machine-learning model was used before being fitted."""
+
+
+class SearchError(ReproError):
+    """The exhaustive / random search could not produce a result."""

@@ -1,0 +1,150 @@
+"""The wavefront value grid and its diagonal-major view.
+
+:class:`WavefrontGrid` stores the values of the recurrence.  Each element
+carries a scalar *value* (the quantity the recurrence is defined over, e.g.
+the alignment score in Smith-Waterman) plus ``dsize`` floating-point payload
+slots and two integer bookkeeping slots, mirroring the element layout of the
+paper's synthetic application (Section 3.1.1).
+
+Only the scalar value participates in the recurrence; the payload exists to
+give data-size (``dsize``) its performance meaning, and the executors move it
+around faithfully so that transfer volumes in the functional mode match the
+cost model's assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import diagonal as dg
+from repro.core.exceptions import InvalidParameterError
+
+
+class WavefrontGrid:
+    """Square grid of wavefront values with diagonal accessors.
+
+    Parameters
+    ----------
+    dim:
+        Side length of the square grid.
+    dsize:
+        Number of float payload slots per element.
+    dtype:
+        Floating point dtype of the value and payload arrays.
+    """
+
+    def __init__(self, dim: int, dsize: int = 0, dtype=np.float64) -> None:
+        if dim < 2:
+            raise InvalidParameterError(f"dim must be >= 2, got {dim}")
+        if dsize < 0:
+            raise InvalidParameterError(f"dsize must be >= 0, got {dsize}")
+        self.dim = int(dim)
+        self.dsize = int(dsize)
+        self.values = np.zeros((dim, dim), dtype=dtype)
+        # Payload floats; kept contiguous per cell for realistic transfers.
+        self.payload = np.zeros((dim, dim, dsize), dtype=dtype) if dsize else None
+        # The two int bookkeeping fields of the synthetic element.
+        self.meta = np.zeros((dim, dim, 2), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_diagonals(self) -> int:
+        """Number of anti-diagonals."""
+        return dg.num_diagonals(self.dim, self.dim)
+
+    def diagonal_length(self, d: int) -> int:
+        """Length of anti-diagonal ``d``."""
+        return dg.diagonal_length(d, self.dim, self.dim)
+
+    def diagonal_indices(self, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (row, col) index arrays for diagonal ``d`` in canonical order."""
+        cells = dg.diagonal_cells(d, self.dim, self.dim)
+        return cells[:, 0], cells[:, 1]
+
+    # ------------------------------------------------------------------
+    # Diagonal-major access
+    # ------------------------------------------------------------------
+    def get_diagonal(self, d: int) -> np.ndarray:
+        """Copy of the values on diagonal ``d`` (ordered by increasing row)."""
+        i, j = self.diagonal_indices(d)
+        return self.values[i, j].copy()
+
+    def set_diagonal(self, d: int, vals: np.ndarray) -> None:
+        """Overwrite the values on diagonal ``d``."""
+        i, j = self.diagonal_indices(d)
+        vals = np.asarray(vals)
+        if vals.shape != i.shape:
+            raise InvalidParameterError(
+                f"diagonal {d} has {i.size} cells, got {vals.size} values"
+            )
+        self.values[i, j] = vals
+
+    def get_diagonal_segment(self, d: int, start: int, stop: int) -> np.ndarray:
+        """Values of cells ``start .. stop-1`` (diagonal-local offsets) on diagonal ``d``."""
+        i, j = self.diagonal_indices(d)
+        return self.values[i[start:stop], j[start:stop]].copy()
+
+    def set_diagonal_segment(self, d: int, start: int, vals: np.ndarray) -> None:
+        """Write a contiguous segment of diagonal ``d`` starting at offset ``start``."""
+        i, j = self.diagonal_indices(d)
+        vals = np.asarray(vals)
+        stop = start + vals.size
+        if start < 0 or stop > i.size:
+            raise InvalidParameterError(
+                f"segment [{start}, {stop}) out of range for diagonal {d} "
+                f"of length {i.size}"
+            )
+        self.values[i[start:stop], j[start:stop]] = vals
+
+    # ------------------------------------------------------------------
+    # Neighbour gathering (the wavefront dependency stencil)
+    # ------------------------------------------------------------------
+    def neighbours(
+        self, i: np.ndarray, j: np.ndarray, boundary: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (west, north, northwest) values for the cells ``(i, j)``.
+
+        Out-of-grid neighbours (first row / first column) take the
+        ``boundary`` value, matching the zero boundary condition the paper's
+        applications use.
+        """
+        i = np.asarray(i)
+        j = np.asarray(j)
+        west = np.where(j > 0, self.values[i, np.maximum(j - 1, 0)], boundary)
+        north = np.where(i > 0, self.values[np.maximum(i - 1, 0), j], boundary)
+        nw = np.where(
+            (i > 0) & (j > 0),
+            self.values[np.maximum(i - 1, 0), np.maximum(j - 1, 0)],
+            boundary,
+        )
+        return west, north, nw
+
+    # ------------------------------------------------------------------
+    # Whole-grid helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "WavefrontGrid":
+        """Deep copy of the grid."""
+        out = WavefrontGrid(self.dim, self.dsize, dtype=self.values.dtype)
+        out.values[...] = self.values
+        if self.payload is not None:
+            out.payload[...] = self.payload
+        out.meta[...] = self.meta
+        return out
+
+    def nbytes(self) -> int:
+        """Total bytes of value + payload + meta arrays."""
+        total = self.values.nbytes + self.meta.nbytes
+        if self.payload is not None:
+            total += self.payload.nbytes
+        return total
+
+    def allclose(self, other: "WavefrontGrid", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """True when the value arrays of two grids agree element-wise."""
+        if self.dim != other.dim:
+            return False
+        return np.allclose(self.values, other.values, rtol=rtol, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WavefrontGrid(dim={self.dim}, dsize={self.dsize})"

@@ -1,0 +1,148 @@
+"""The user-facing wavefront pattern API.
+
+An application supplies a :class:`WavefrontKernel` — the per-element
+recurrence step — and wraps it with input parameters into a
+:class:`WavefrontProblem`.  Executors never know anything about the
+application beyond this interface, which is precisely the property the paper
+exploits to train its autotuner on a synthetic application and deploy it on
+real ones.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError, KernelError
+from repro.core.grid import WavefrontGrid
+from repro.core.params import InputParams
+
+
+class WavefrontKernel(abc.ABC):
+    """The per-element recurrence of a wavefront application.
+
+    Subclasses must implement :meth:`diagonal`, the vectorised evaluation of
+    one anti-diagonal given the west / north / north-west neighbour values.
+    A scalar convenience wrapper :meth:`cell` is provided for tests and for
+    kernels that are inherently scalar.
+
+    The two cost attributes ``tsize`` and ``dsize`` describe the kernel on the
+    synthetic scale of the paper (Section 3.2.1): ``tsize`` is the task
+    granularity in synthetic-kernel iterations and ``dsize`` the number of
+    float payload values per element.
+    """
+
+    #: Task granularity on the synthetic scale (see Section 3.2.1).
+    tsize: float = 1.0
+    #: Data granularity (number of payload floats per element).
+    dsize: int = 0
+    #: Human-readable kernel name.
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def diagonal(
+        self,
+        i: np.ndarray,
+        j: np.ndarray,
+        west: np.ndarray,
+        north: np.ndarray,
+        northwest: np.ndarray,
+    ) -> np.ndarray:
+        """Compute the values of the cells ``(i, j)`` of one anti-diagonal.
+
+        All five arguments are 1-D arrays of equal length; out-of-grid
+        neighbours arrive as the problem's boundary value.  The return value
+        must be a 1-D float array of the same length.
+        """
+
+    def cell(self, i: int, j: int, west: float, north: float, northwest: float) -> float:
+        """Scalar evaluation of a single cell (reference/checking path)."""
+        out = self.diagonal(
+            np.array([i]), np.array([j]),
+            np.array([west], dtype=float),
+            np.array([north], dtype=float),
+            np.array([northwest], dtype=float),
+        )
+        return float(out[0])
+
+    def validate_output(self, values: np.ndarray, expected_len: int) -> np.ndarray:
+        """Check a diagonal result for shape/NaN problems and return it."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.shape[0] != expected_len:
+            raise KernelError(
+                f"kernel {self.name!r} returned shape {values.shape}, "
+                f"expected ({expected_len},)"
+            )
+        if not np.all(np.isfinite(values)):
+            raise KernelError(f"kernel {self.name!r} produced non-finite values")
+        return values
+
+
+class FunctionKernel(WavefrontKernel):
+    """Adapter turning a plain function into a :class:`WavefrontKernel`.
+
+    The function receives ``(i, j, west, north, northwest)`` arrays and
+    returns the diagonal's values.  Useful for quick experiments:
+
+    >>> import numpy as np
+    >>> k = FunctionKernel(lambda i, j, w, n, nw: np.maximum(w, n) + 1.0, tsize=1.0)
+    >>> k.cell(1, 1, 2.0, 3.0, 0.0)
+    4.0
+    """
+
+    def __init__(
+        self,
+        func: Callable[..., np.ndarray],
+        tsize: float = 1.0,
+        dsize: int = 0,
+        name: str = "function-kernel",
+    ) -> None:
+        if tsize <= 0:
+            raise InvalidParameterError(f"tsize must be positive, got {tsize}")
+        if dsize < 0:
+            raise InvalidParameterError(f"dsize must be >= 0, got {dsize}")
+        self._func = func
+        self.tsize = float(tsize)
+        self.dsize = int(dsize)
+        self.name = name
+
+    def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        return self._func(i, j, west, north, northwest)
+
+
+class WavefrontProblem:
+    """A wavefront instance: a kernel plus the size of the grid it sweeps."""
+
+    def __init__(
+        self,
+        dim: int,
+        kernel: WavefrontKernel,
+        boundary: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if dim < 2:
+            raise InvalidParameterError(f"dim must be >= 2, got {dim}")
+        self.dim = int(dim)
+        self.kernel = kernel
+        self.boundary = float(boundary)
+        self.name = name or kernel.name
+
+    def input_params(self) -> InputParams:
+        """The instance's (dim, tsize, dsize) characteristics."""
+        return InputParams(dim=self.dim, tsize=self.kernel.tsize, dsize=self.kernel.dsize)
+
+    def make_grid(self) -> WavefrontGrid:
+        """Allocate an empty value grid for this problem."""
+        return WavefrontGrid(self.dim, self.kernel.dsize)
+
+    def features(self) -> dict[str, float]:
+        """Features presented to the autotuner for this problem."""
+        return self.input_params().features()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WavefrontProblem(name={self.name!r}, dim={self.dim}, "
+            f"tsize={self.kernel.tsize}, dsize={self.kernel.dsize})"
+        )

@@ -1,0 +1,167 @@
+"""The three-phase hybrid execution plan (Section 2, Figure 2 of the paper).
+
+Given input parameters and tunable parameters, :class:`ThreePhasePlan`
+derives which anti-diagonals belong to each phase:
+
+* **phase 1** — diagonals before the GPU band, computed on the CPU with
+  tiled parallelism;
+* **phase 2** — the band of ``2*band + 1`` diagonals centred on the main
+  anti-diagonal, computed on one or two GPUs;
+* **phase 3** — the remaining diagonals, back on the CPU.
+
+Either the CPU phases or the GPU phase may be empty: ``band == -1`` yields a
+pure-CPU plan, and a band that covers every diagonal yields a pure-GPU plan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import diagonal as dg
+from repro.core.exceptions import PlanError
+from repro.core.params import InputParams, TunableParams
+
+
+class Phase(enum.Enum):
+    """The three phases of the hybrid execution strategy."""
+
+    CPU_PRE = 1
+    GPU_BAND = 2
+    CPU_POST = 3
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """A contiguous, possibly empty, range of diagonals ``[lo, hi]`` of one phase."""
+
+    phase: Phase
+    lo: int
+    hi: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.hi < self.lo
+
+    @property
+    def n_diagonals(self) -> int:
+        return 0 if self.is_empty else self.hi - self.lo + 1
+
+    def cells(self, dim: int) -> int:
+        """Number of grid cells covered by this span on a ``dim`` square grid."""
+        if self.is_empty:
+            return 0
+        return dg.cells_in_diagonal_range(self.lo, self.hi, dim)
+
+
+class ThreePhasePlan:
+    """Concrete decomposition of one wavefront instance under given tunables."""
+
+    def __init__(self, input_params: InputParams, tunables: TunableParams) -> None:
+        self.input_params = input_params
+        # Clip the tunables to the instance so that plans built from raw
+        # search-space points (whose band/halo scales are absolute) are valid.
+        self.tunables = tunables.clipped(input_params.dim)
+        dim = input_params.dim
+        last = 2 * dim - 2
+
+        if not self.tunables.uses_gpu:
+            band_lo, band_hi = 0, -1  # empty GPU span
+        else:
+            band_lo, band_hi = dg.band_diagonal_range(dim, self.tunables.band)
+
+        self.pre = PhaseSpan(Phase.CPU_PRE, 0, band_lo - 1)
+        self.gpu = PhaseSpan(Phase.GPU_BAND, band_lo, band_hi)
+        self.post = PhaseSpan(Phase.CPU_POST, band_hi + 1, last)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        dim = self.input_params.dim
+        last = 2 * dim - 2
+        spans = [s for s in (self.pre, self.gpu, self.post) if not s.is_empty]
+        if not spans:
+            raise PlanError("plan covers no diagonals")
+        covered = sum(s.n_diagonals for s in spans)
+        if covered != last + 1:
+            raise PlanError(
+                f"plan covers {covered} diagonals, expected {last + 1}"
+            )
+        total_cells = sum(s.cells(dim) for s in (self.pre, self.gpu, self.post))
+        if total_cells != self.input_params.cells:
+            raise PlanError(
+                f"plan covers {total_cells} cells, expected {self.input_params.cells}"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def is_all_cpu(self) -> bool:
+        """True when the GPU phase is empty."""
+        return self.gpu.is_empty
+
+    @property
+    def is_all_gpu(self) -> bool:
+        """True when both CPU phases are empty."""
+        return self.pre.is_empty and self.post.is_empty and not self.gpu.is_empty
+
+    @property
+    def spans(self) -> tuple[PhaseSpan, PhaseSpan, PhaseSpan]:
+        """The (pre, gpu, post) spans in execution order."""
+        return (self.pre, self.gpu, self.post)
+
+    def phase_of_diagonal(self, d: int) -> Phase:
+        """Which phase computes diagonal ``d``."""
+        dim = self.input_params.dim
+        if d < 0 or d > 2 * dim - 2:
+            raise PlanError(f"diagonal {d} out of range for dim={dim}")
+        for span in self.spans:
+            if not span.is_empty and span.lo <= d <= span.hi:
+                return span.phase
+        raise PlanError(f"diagonal {d} not covered by any phase")  # pragma: no cover
+
+    def cells_per_phase(self) -> dict[Phase, int]:
+        """Number of cells computed by each phase."""
+        dim = self.input_params.dim
+        return {span.phase: span.cells(dim) for span in self.spans}
+
+    def gpu_diagonal_lengths(self) -> list[int]:
+        """Lengths of the diagonals in the GPU band, in execution order."""
+        if self.gpu.is_empty:
+            return []
+        dim = self.input_params.dim
+        return [
+            dg.diagonal_length(d, dim, dim) for d in range(self.gpu.lo, self.gpu.hi + 1)
+        ]
+
+    def offload_nbytes(self) -> int:
+        """Bytes transferred host->device before phase 2 (and back after it).
+
+        The GPU needs the band's cells plus the two boundary diagonals
+        preceding the band (wavefront dependencies reach back two diagonals).
+        """
+        if self.gpu.is_empty:
+            return 0
+        dim = self.input_params.dim
+        cells = self.gpu.cells(dim)
+        boundary = 0
+        for d in (self.gpu.lo - 1, self.gpu.lo - 2):
+            if d >= 0:
+                boundary += dg.diagonal_length(d, dim, dim)
+        return (cells + boundary) * self.input_params.element_nbytes
+
+    def describe(self) -> str:
+        """Human-readable summary of the plan."""
+        dim = self.input_params.dim
+        parts = []
+        for span in self.spans:
+            if span.is_empty:
+                continue
+            parts.append(
+                f"{span.phase.name}[{span.lo}..{span.hi}] ({span.cells(dim)} cells)"
+            )
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreePhasePlan({self.describe()})"

@@ -1,0 +1,30 @@
+"""Simulated OpenCL-like device harness.
+
+The paper drives its GPUs through "our own OpenCL harness" (Section 2).  This
+subpackage reproduces that harness functionally: contexts own devices,
+devices own buffers, command queues enqueue buffer transfers and kernel
+launches, and every operation is recorded in an event log.  Kernels execute
+on the host (they are plain Python/NumPy callables), so results are real;
+*time* is charged separately by the analytic cost model in
+:mod:`repro.hardware.costmodel`, keyed off the operation counts and byte
+volumes the event log records.
+"""
+
+from repro.device.buffer import DeviceBuffer
+from repro.device.events import DeviceEvent, EventLog, EventKind
+from repro.device.kernel import KernelSpec, WorkGroupConfig
+from repro.device.device import SimulatedGPU
+from repro.device.queue import CommandQueue
+from repro.device.context import DeviceContext
+
+__all__ = [
+    "DeviceBuffer",
+    "DeviceEvent",
+    "EventLog",
+    "EventKind",
+    "KernelSpec",
+    "WorkGroupConfig",
+    "SimulatedGPU",
+    "CommandQueue",
+    "DeviceContext",
+]

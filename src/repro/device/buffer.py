@@ -1,0 +1,96 @@
+"""Device-resident buffers of the simulated OpenCL harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import DeviceError
+
+
+class DeviceBuffer:
+    """A named array living in (simulated) device memory.
+
+    Buffers are created through :class:`repro.device.device.SimulatedGPU`
+    so that device memory accounting stays correct; they should not be
+    constructed directly by application code.
+    """
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype=np.float64, device: int = 0) -> None:
+        if any(s < 0 for s in shape):
+            raise DeviceError(f"buffer shape must be non-negative, got {shape}")
+        self.name = name
+        self.device = device
+        self._data = np.zeros(shape, dtype=dtype)
+        self._written = False
+        self._released = False
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the buffer in bytes."""
+        return self._data.nbytes
+
+    @property
+    def written(self) -> bool:
+        """True once the buffer holds data written by the host or a kernel."""
+        return self._written
+
+    @property
+    def released(self) -> bool:
+        """True once the buffer has been released back to the device."""
+        return self._released
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._released:
+            raise DeviceError(f"buffer {self.name!r} has been released")
+
+    def write(self, data: np.ndarray) -> int:
+        """Copy host ``data`` into the buffer; returns the bytes written."""
+        self._check_alive()
+        data = np.asarray(data, dtype=self._data.dtype)
+        if data.shape != self._data.shape:
+            raise DeviceError(
+                f"cannot write shape {data.shape} into buffer {self.name!r} "
+                f"of shape {self._data.shape}"
+            )
+        self._data[...] = data
+        self._written = True
+        return self.nbytes
+
+    def read(self) -> np.ndarray:
+        """Copy the buffer back to the host."""
+        self._check_alive()
+        if not self._written:
+            raise DeviceError(
+                f"buffer {self.name!r} read before anything was written to it"
+            )
+        return self._data.copy()
+
+    def view(self) -> np.ndarray:
+        """Device-side view used by kernels (no host copy is implied)."""
+        self._check_alive()
+        return self._data
+
+    def mark_written(self) -> None:
+        """Record that a kernel produced this buffer's contents."""
+        self._check_alive()
+        self._written = True
+
+    def release(self) -> int:
+        """Release the buffer; returns the bytes freed."""
+        self._check_alive()
+        self._released = True
+        return self.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else ("written" if self._written else "empty")
+        return f"DeviceBuffer({self.name!r}, shape={self.shape}, device={self.device}, {state})"

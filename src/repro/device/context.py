@@ -1,0 +1,95 @@
+"""Device contexts: the host's view of the GPUs it will drive.
+
+A :class:`DeviceContext` owns one :class:`SimulatedGPU` per physical device
+it was created for, a command queue per device and a shared event log.  The
+runtime's band executors create a context for the devices the configuration
+selects (``gpu_count``), which is where the per-device start-up cost of the
+paper comes from.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import DeviceError
+from repro.device.device import SimulatedGPU
+from repro.device.events import EventLog
+from repro.device.queue import CommandQueue
+from repro.hardware.system import SystemSpec
+
+
+class DeviceContext:
+    """A set of simulated devices, their queues and a shared event log."""
+
+    def __init__(self, system: SystemSpec, gpu_count: int) -> None:
+        if gpu_count < 1:
+            raise DeviceError(f"gpu_count must be >= 1, got {gpu_count}")
+        if gpu_count > system.gpu_count:
+            raise DeviceError(
+                f"system {system.name!r} has {system.gpu_count} GPUs, "
+                f"{gpu_count} requested"
+            )
+        self.system = system
+        self.log = EventLog()
+        self.devices: list[SimulatedGPU] = [
+            SimulatedGPU(index=i, spec=system.gpu(i), log=self.log)
+            for i in range(gpu_count)
+        ]
+        self.queues: list[CommandQueue] = []
+        self._released = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "DeviceContext":
+        self.initialise()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    @property
+    def gpu_count(self) -> int:
+        """Number of devices in the context."""
+        return len(self.devices)
+
+    def initialise(self) -> None:
+        """Initialise every device and create its command queue."""
+        if self._released:
+            raise DeviceError("context has been released")
+        if self.queues:
+            return
+        for device in self.devices:
+            device.initialise()
+            self.queues.append(CommandQueue(device))
+
+    def queue(self, index: int = 0) -> CommandQueue:
+        """The command queue of device ``index``."""
+        if not self.queues:
+            raise DeviceError("context not initialised; call initialise() first")
+        if index < 0 or index >= len(self.queues):
+            raise DeviceError(
+                f"device index {index} out of range for context with "
+                f"{len(self.queues)} devices"
+            )
+        return self.queues[index]
+
+    def device(self, index: int = 0) -> SimulatedGPU:
+        """The device at ``index``."""
+        if index < 0 or index >= len(self.devices):
+            raise DeviceError(
+                f"device index {index} out of range for context with "
+                f"{len(self.devices)} devices"
+            )
+        return self.devices[index]
+
+    def release(self) -> None:
+        """Release all queues and device buffers."""
+        if self._released:
+            return
+        for queue in self.queues:
+            queue.release()
+        for device in self.devices:
+            device.release_all()
+        self._released = True
+
+    @property
+    def released(self) -> bool:
+        return self._released

@@ -1,0 +1,162 @@
+"""The simulated GPU device: memory accounting plus kernel execution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import DeviceError
+from repro.device.buffer import DeviceBuffer
+from repro.device.events import DeviceEvent, EventKind, EventLog
+from repro.device.kernel import KernelSpec, WorkGroupConfig
+from repro.hardware.gpu import GPUSpec
+
+
+class SimulatedGPU:
+    """One simulated GPU device.
+
+    The device owns buffers (with memory accounting against the device's
+    capacity), executes kernels functionally on the host and records every
+    operation in the shared :class:`repro.device.events.EventLog`.
+    """
+
+    def __init__(self, index: int, spec: GPUSpec, log: EventLog | None = None) -> None:
+        if index < 0:
+            raise DeviceError(f"device index must be >= 0, got {index}")
+        self.index = index
+        self.spec = spec
+        self.log = log if log is not None else EventLog()
+        self._allocated_bytes = 0
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self._initialised = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialise(self) -> None:
+        """Bring the device up (the paper's costly GPU start-up step)."""
+        if self._initialised:
+            return
+        self._initialised = True
+        self.log.record(
+            DeviceEvent(kind=EventKind.DEVICE_INIT, device=self.index, label=self.spec.name)
+        )
+
+    @property
+    def initialised(self) -> bool:
+        return self._initialised
+
+    def _check_initialised(self) -> None:
+        if not self._initialised:
+            raise DeviceError(
+                f"device {self.index} ({self.spec.name}) used before initialise()"
+            )
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated on the device."""
+        return self._allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining device memory."""
+        return self.spec.mem_bytes - self._allocated_bytes
+
+    def create_buffer(
+        self, name: str, shape: tuple[int, ...], dtype=np.float64
+    ) -> DeviceBuffer:
+        """Allocate a named buffer on this device."""
+        self._check_initialised()
+        if name in self._buffers and not self._buffers[name].released:
+            raise DeviceError(f"buffer {name!r} already exists on device {self.index}")
+        buf = DeviceBuffer(name=name, shape=shape, dtype=dtype, device=self.index)
+        if buf.nbytes > self.free_bytes:
+            raise DeviceError(
+                f"device {self.index} out of memory: requested {buf.nbytes} bytes, "
+                f"{self.free_bytes} free"
+            )
+        self._allocated_bytes += buf.nbytes
+        self._buffers[name] = buf
+        return buf
+
+    def release_buffer(self, name: str) -> None:
+        """Release a buffer and return its memory to the device."""
+        try:
+            buf = self._buffers[name]
+        except KeyError:
+            raise DeviceError(f"no buffer named {name!r} on device {self.index}") from None
+        if not buf.released:
+            self._allocated_bytes -= buf.release()
+
+    def buffer(self, name: str) -> DeviceBuffer:
+        """Look up a live buffer by name."""
+        try:
+            buf = self._buffers[name]
+        except KeyError:
+            raise DeviceError(f"no buffer named {name!r} on device {self.index}") from None
+        if buf.released:
+            raise DeviceError(f"buffer {name!r} on device {self.index} has been released")
+        return buf
+
+    def release_all(self) -> None:
+        """Release every live buffer (end of the GPU phase)."""
+        for name, buf in list(self._buffers.items()):
+            if not buf.released:
+                self.release_buffer(name)
+
+    # ------------------------------------------------------------------
+    # Data movement (records events; the queue wraps these)
+    # ------------------------------------------------------------------
+    def write_buffer(self, name: str, data: np.ndarray, label: str = "") -> int:
+        """Host -> device transfer into the named buffer."""
+        self._check_initialised()
+        nbytes = self.buffer(name).write(data)
+        self.log.record(
+            DeviceEvent(kind=EventKind.H2D, device=self.index, nbytes=nbytes, label=label)
+        )
+        return nbytes
+
+    def read_buffer(self, name: str, label: str = "") -> np.ndarray:
+        """Device -> host transfer out of the named buffer."""
+        self._check_initialised()
+        buf = self.buffer(name)
+        data = buf.read()
+        self.log.record(
+            DeviceEvent(
+                kind=EventKind.D2H, device=self.index, nbytes=buf.nbytes, label=label
+            )
+        )
+        return data
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelSpec,
+        global_size: int,
+        args: dict[str, object],
+        workgroup: WorkGroupConfig | None = None,
+        label: str = "",
+    ) -> np.ndarray:
+        """Execute ``kernel`` over ``global_size`` work-items and return its output."""
+        self._check_initialised()
+        if global_size < 1:
+            raise DeviceError(f"global_size must be >= 1, got {global_size}")
+        workgroup = workgroup or WorkGroupConfig()
+        global_ids = np.arange(global_size)
+        out = kernel.run(global_ids, args)
+        self.log.record(
+            DeviceEvent(
+                kind=EventKind.KERNEL,
+                device=self.index,
+                work_items=global_size,
+                label=label or kernel.name,
+            )
+        )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedGPU(index={self.index}, spec={self.spec.name!r})"

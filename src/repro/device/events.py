@@ -1,0 +1,117 @@
+"""Event log of simulated device operations.
+
+Every buffer transfer, kernel launch and halo staging operation performed
+through the device layer is recorded here.  The runtime executors and the
+tests use the log to check that the *functional* execution performs exactly
+the operations the cost model charges for (same number of kernel launches,
+same host<->device byte volumes, same number of halo swaps).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class EventKind(enum.Enum):
+    """Kinds of operations the device layer records."""
+
+    H2D = "host_to_device"
+    D2H = "device_to_host"
+    KERNEL = "kernel_launch"
+    HALO_SWAP = "halo_swap"
+    DEVICE_INIT = "device_init"
+
+
+@dataclass(frozen=True)
+class DeviceEvent:
+    """One recorded device operation."""
+
+    kind: EventKind
+    device: int
+    nbytes: int = 0
+    work_items: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.work_items < 0:
+            raise ValueError(f"work_items must be >= 0, got {self.work_items}")
+
+
+class EventLog:
+    """Append-only list of :class:`DeviceEvent` with summary accessors."""
+
+    def __init__(self) -> None:
+        self._events: list[DeviceEvent] = []
+
+    def record(self, event: DeviceEvent) -> None:
+        """Append one event."""
+        self._events.append(event)
+
+    def extend(self, other: "EventLog") -> None:
+        """Append all events of another log (used when merging per-device logs)."""
+        self._events.extend(other._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[DeviceEvent]:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def count(self, kind: EventKind, device: int | None = None) -> int:
+        """Number of events of ``kind`` (optionally restricted to one device)."""
+        return sum(
+            1
+            for e in self._events
+            if e.kind is kind and (device is None or e.device == device)
+        )
+
+    def bytes_moved(self, kind: EventKind, device: int | None = None) -> int:
+        """Total bytes moved by events of ``kind``."""
+        return sum(
+            e.nbytes
+            for e in self._events
+            if e.kind is kind and (device is None or e.device == device)
+        )
+
+    @property
+    def kernel_launches(self) -> int:
+        """Total number of kernel launches across all devices."""
+        return self.count(EventKind.KERNEL)
+
+    @property
+    def halo_swaps(self) -> int:
+        """Total number of halo swaps recorded."""
+        return self.count(EventKind.HALO_SWAP)
+
+    @property
+    def bytes_h2d(self) -> int:
+        """Total host-to-device bytes."""
+        return self.bytes_moved(EventKind.H2D)
+
+    @property
+    def bytes_d2h(self) -> int:
+        """Total device-to-host bytes."""
+        return self.bytes_moved(EventKind.D2H)
+
+    @property
+    def devices_initialised(self) -> int:
+        """Number of device initialisation events."""
+        return self.count(EventKind.DEVICE_INIT)
+
+    def summary(self) -> dict[str, int]:
+        """Flat dictionary summary used in :class:`repro.runtime.result.ExecutionResult`."""
+        return {
+            "kernel_launches": self.kernel_launches,
+            "halo_swaps": self.halo_swaps,
+            "bytes_h2d": self.bytes_h2d,
+            "bytes_d2h": self.bytes_d2h,
+            "devices_initialised": self.devices_initialised,
+            "events": len(self._events),
+        }

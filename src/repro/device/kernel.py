@@ -1,0 +1,72 @@
+"""Kernel and work-group abstractions of the simulated OpenCL harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class WorkGroupConfig:
+    """Work-group configuration of one kernel launch.
+
+    ``group_size`` corresponds to the paper's ``gpu-tile`` parameter: the
+    number of work-items grouped together and synchronised inside the device.
+    ``group_size == 1`` means no intra-device tiling (one work-item per
+    element, one kernel launch per diagonal).
+    """
+
+    group_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise DeviceError(f"group_size must be >= 1, got {self.group_size}")
+
+    def n_groups(self, global_size: int) -> int:
+        """Number of work-groups needed to cover ``global_size`` work-items."""
+        if global_size < 0:
+            raise DeviceError(f"global_size must be >= 0, got {global_size}")
+        if global_size == 0:
+            return 0
+        return -(-global_size // self.group_size)
+
+    def barriers(self, internal_steps: int) -> int:
+        """Intra-group barrier count for a launch spanning ``internal_steps`` diagonals."""
+        if internal_steps < 0:
+            raise DeviceError(f"internal_steps must be >= 0, got {internal_steps}")
+        if self.group_size == 1:
+            return 0
+        return internal_steps
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A device kernel: a host callable applied to a range of work-items.
+
+    The callable receives the 1-D array of global work-item ids plus the
+    keyword arguments passed at enqueue time (typically neighbour-value
+    arrays) and returns one value per work-item.
+    """
+
+    name: str
+    func: Callable[..., np.ndarray]
+
+    def run(self, global_ids: np.ndarray, args: Mapping[str, object]) -> np.ndarray:
+        """Execute the kernel body for the given work-items."""
+        global_ids = np.asarray(global_ids)
+        if global_ids.ndim != 1:
+            raise DeviceError(
+                f"kernel {self.name!r} expects a 1-D range of work-items, "
+                f"got shape {global_ids.shape}"
+            )
+        out = np.asarray(self.func(global_ids, **dict(args)))
+        if out.shape != global_ids.shape:
+            raise DeviceError(
+                f"kernel {self.name!r} returned shape {out.shape} for "
+                f"{global_ids.size} work-items"
+            )
+        return out

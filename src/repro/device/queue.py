@@ -1,0 +1,75 @@
+"""Command queues: the host-side handle used to drive one device.
+
+A queue serialises the operations issued to its device, mirroring an
+in-order OpenCL command queue.  In this simulation operations complete
+eagerly, so :meth:`CommandQueue.finish` only verifies the queue is usable;
+it exists so the executor code reads like the real harness would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import DeviceError
+from repro.device.device import SimulatedGPU
+from repro.device.kernel import KernelSpec, WorkGroupConfig
+
+
+class CommandQueue:
+    """In-order command queue bound to one :class:`SimulatedGPU`."""
+
+    def __init__(self, device: SimulatedGPU) -> None:
+        self.device = device
+        self._released = False
+        self._ops_enqueued = 0
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._released:
+            raise DeviceError(
+                f"command queue for device {self.device.index} has been released"
+            )
+
+    @property
+    def ops_enqueued(self) -> int:
+        """Number of operations issued through this queue."""
+        return self._ops_enqueued
+
+    # ------------------------------------------------------------------
+    # Enqueue operations
+    # ------------------------------------------------------------------
+    def enqueue_write(self, buffer_name: str, data: np.ndarray, label: str = "") -> int:
+        """Enqueue a host -> device buffer write; returns bytes transferred."""
+        self._check_alive()
+        self._ops_enqueued += 1
+        return self.device.write_buffer(buffer_name, data, label=label)
+
+    def enqueue_read(self, buffer_name: str, label: str = "") -> np.ndarray:
+        """Enqueue a device -> host buffer read; returns the host copy."""
+        self._check_alive()
+        self._ops_enqueued += 1
+        return self.device.read_buffer(buffer_name, label=label)
+
+    def enqueue_kernel(
+        self,
+        kernel: KernelSpec,
+        global_size: int,
+        args: dict[str, object],
+        workgroup: WorkGroupConfig | None = None,
+        label: str = "",
+    ) -> np.ndarray:
+        """Enqueue a kernel launch; returns the kernel's output array."""
+        self._check_alive()
+        self._ops_enqueued += 1
+        return self.device.launch(
+            kernel, global_size, args, workgroup=workgroup, label=label
+        )
+
+    def finish(self) -> None:
+        """Wait for all enqueued operations (a no-op in the eager simulation)."""
+        self._check_alive()
+
+    def release(self) -> None:
+        """Release the queue; further operations raise :class:`DeviceError`."""
+        self._check_alive()
+        self._released = True

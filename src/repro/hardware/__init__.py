@@ -1,0 +1,27 @@
+"""Heterogeneous platform descriptions and the analytic cost model.
+
+The paper evaluates on three physical systems (Table 4).  This reproduction
+has no GPUs available, so :mod:`repro.hardware.platforms` describes the same
+three systems as data, and :mod:`repro.hardware.costmodel` charges simulated
+time for every operation the executors perform.  The cost model captures the
+first-order effects the paper reasons about (Section 2.1): relative CPU/GPU
+per-point speed, PCIe transfer cost, kernel-launch overhead, work-group
+synchronisation, GPU start-up cost, halo-swap cost and redundant halo
+computation.
+"""
+
+from repro.hardware.cpu import CPUSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.system import SystemSpec
+from repro.hardware.costmodel import CostConstants, CostModel, PhaseBreakdown
+from repro.hardware import platforms
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "SystemSpec",
+    "CostConstants",
+    "CostModel",
+    "PhaseBreakdown",
+    "platforms",
+]

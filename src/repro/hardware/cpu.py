@@ -1,0 +1,58 @@
+"""CPU specification (the host side of Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multicore CPU as described in Table 4 of the paper.
+
+    ``cores`` is the number of hardware threads reported in the table's
+    "Cores (HT)" column; the executors and cost model use it directly as the
+    worker count of the CPU phases.
+    """
+
+    name: str
+    freq_mhz: float
+    cores: int
+    mem_gb: float
+    hyperthreaded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise InvalidParameterError(f"freq_mhz must be positive, got {self.freq_mhz}")
+        if self.cores < 1:
+            raise InvalidParameterError(f"cores must be >= 1, got {self.cores}")
+        if self.mem_gb <= 0:
+            raise InvalidParameterError(f"mem_gb must be positive, got {self.mem_gb}")
+
+    @property
+    def freq_ghz(self) -> float:
+        """Clock frequency in GHz."""
+        return self.freq_mhz / 1000.0
+
+    @property
+    def workers(self) -> int:
+        """Number of parallel workers the CPU phases may use."""
+        return self.cores
+
+    @property
+    def effective_cores(self) -> float:
+        """Cores discounted for hyper-threading (two HT threads ≈ 1.3 cores).
+
+        Used only by the cost model's load-balance term; the scheduler still
+        runs ``cores`` workers.
+        """
+        if not self.hyperthreaded:
+            return float(self.cores)
+        physical = self.cores / 2
+        return physical * 1.3
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        ht = "HT" if self.hyperthreaded else "no-HT"
+        return f"{self.name} ({self.cores} cores {ht} @ {self.freq_mhz:.0f} MHz, {self.mem_gb:g} GB)"

@@ -1,0 +1,92 @@
+"""A heterogeneous system: one multicore CPU plus zero or more GPUs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import InvalidParameterError
+from repro.hardware.cpu import CPUSpec
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """The host<->device interconnect (PCIe in the paper's systems)."""
+
+    bandwidth_gbs: float = 5.0
+    latency_us: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise InvalidParameterError(
+                f"bandwidth_gbs must be positive, got {self.bandwidth_gbs}"
+            )
+        if self.latency_us < 0:
+            raise InvalidParameterError(
+                f"latency_us must be >= 0, got {self.latency_us}"
+            )
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_us * 1e-6
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across the interconnect (one transfer)."""
+        if nbytes < 0:
+            raise InvalidParameterError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete experimental system (one row of Table 4)."""
+
+    name: str
+    cpu: CPUSpec
+    gpus: tuple[GPUSpec, ...] = ()
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidParameterError("system name must not be empty")
+        object.__setattr__(self, "gpus", tuple(self.gpus))
+
+    @property
+    def gpu_count(self) -> int:
+        """Number of GPU devices installed in the system."""
+        return len(self.gpus)
+
+    @property
+    def max_usable_gpus(self) -> int:
+        """Maximum GPUs the tuner may select (the paper uses at most two)."""
+        return min(2, self.gpu_count)
+
+    def gpu(self, index: int = 0) -> GPUSpec:
+        """The GPU at ``index``; raises if the system has no such device."""
+        if index < 0 or index >= len(self.gpus):
+            raise InvalidParameterError(
+                f"system {self.name!r} has {len(self.gpus)} GPUs, "
+                f"device {index} requested"
+            )
+        return self.gpus[index]
+
+    @property
+    def has_gpu(self) -> bool:
+        return bool(self.gpus)
+
+    def describe(self) -> str:
+        """Multi-line human readable description (used by the Table 4 bench)."""
+        lines = [f"System {self.name}", f"  CPU: {self.cpu.describe()}"]
+        for idx, gpu in enumerate(self.gpus):
+            lines.append(f"  GPU[{idx}]: {gpu.describe()}")
+        lines.append(
+            f"  Interconnect: {self.interconnect.bandwidth_gbs:g} GB/s, "
+            f"{self.interconnect.latency_us:g} us latency"
+        )
+        return "\n".join(lines)

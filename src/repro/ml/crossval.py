@@ -1,0 +1,87 @@
+"""Cross-validation utilities.
+
+The paper's training procedure evaluates candidate models by
+cross-validation on synthetic-application instances withheld from the
+training set, and accepts a configuration once test accuracy reaches 90%
+(Section 3.1.2).  These helpers implement that protocol for any model that
+exposes ``fit(dataset)`` and ``predict(X)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+from repro.ml.dataset import Dataset
+from repro.ml.metrics import within_tolerance
+from repro.utils.rng import make_rng
+
+
+class SupervisedModel(Protocol):
+    """Anything with the fit/predict interface used by the tuner."""
+
+    def fit(self, dataset: Dataset) -> "SupervisedModel": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def kfold_indices(
+    n_samples: int, k: int, seed: int | np.random.Generator | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` (train_indices, test_indices) folds over ``n_samples`` rows."""
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    if n_samples < k:
+        raise InvalidParameterError(
+            f"cannot make {k} folds out of {n_samples} samples"
+        )
+    rng = make_rng(seed)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.25, seed=None
+) -> tuple[Dataset, Dataset]:
+    """Split a dataset into (train, test)."""
+    train, test = dataset.split(1.0 - test_fraction, seed=seed)
+    return train, test
+
+
+def cross_val_score(
+    model_factory: Callable[[], SupervisedModel],
+    dataset: Dataset,
+    k: int = 5,
+    metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> list[float]:
+    """K-fold cross-validation scores of ``model_factory()`` on ``dataset``.
+
+    The default metric is the paper's tolerance-based accuracy
+    (:func:`repro.ml.metrics.within_tolerance`).
+    """
+    metric = metric or within_tolerance
+    scores = []
+    for train_idx, test_idx in kfold_indices(dataset.n_samples, k, seed):
+        train = dataset.subset(train_idx)
+        test = dataset.subset(test_idx)
+        model = model_factory()
+        model.fit(train)
+        preds = model.predict(test.X)
+        scores.append(float(metric(test.y, preds)))
+    return scores
+
+
+def meets_accuracy_threshold(scores: list[float], threshold: float = 0.9) -> bool:
+    """The paper's acceptance rule: mean cross-validated accuracy >= 90%."""
+    if not scores:
+        raise InvalidParameterError("no cross-validation scores supplied")
+    return float(np.mean(scores)) >= threshold

@@ -1,0 +1,8 @@
+"""Decision / model tree implementations (M5P, REP tree, OLS leaves)."""
+
+from repro.ml.tree.linear_model import LinearModel
+from repro.ml.tree.splitter import SplitCandidate, best_split
+from repro.ml.tree.reptree import REPTree
+from repro.ml.tree.m5p import M5ModelTree
+
+__all__ = ["LinearModel", "SplitCandidate", "best_split", "REPTree", "M5ModelTree"]

@@ -1,0 +1,144 @@
+"""Ordinary least-squares linear models.
+
+These serve two roles: the linear models sitting at the leaves of the M5P
+model tree (Figure 9's ``LM1 ... LM22``) and the stand-alone linear
+regression baseline that the paper's earlier work found insufficient for
+predicting the tuning parameters (Section 3.1.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ModelNotFittedError, InvalidParameterError
+
+
+class LinearModel:
+    """OLS regression ``y = w . x + b`` with optional attribute dropping."""
+
+    def __init__(self, ridge: float = 1e-8) -> None:
+        if ridge < 0:
+            raise InvalidParameterError(f"ridge must be >= 0, got {ridge}")
+        self.ridge = float(ridge)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.feature_names: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, feature_names: list[str] | None = None
+    ) -> "LinearModel":
+        """Fit the model by (ridge-stabilised) least squares."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise InvalidParameterError(
+                f"inconsistent shapes X{X.shape}, y{y.shape} for LinearModel.fit"
+            )
+        if X.shape[0] == 0:
+            raise InvalidParameterError("cannot fit a linear model on zero samples")
+        n, m = X.shape
+        self.feature_names = list(feature_names) if feature_names is not None else None
+        if n == 1:
+            # Degenerate case: constant model through the single point.
+            self.coef_ = np.zeros(m)
+            self.intercept_ = float(y[0])
+            return self
+        # Augment with a bias column and solve the normal equations with a
+        # small ridge term for numerical stability on collinear features.
+        A = np.hstack([X, np.ones((n, 1))])
+        gram = A.T @ A + self.ridge * np.eye(m + 1)
+        rhs = A.T @ y
+        try:
+            beta = np.linalg.solve(gram, rhs)
+        except np.linalg.LinAlgError:
+            beta, *_ = np.linalg.lstsq(A, y, rcond=None)
+        self.coef_ = beta[:m]
+        self.intercept_ = float(beta[m])
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self.coef_ is not None
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise ModelNotFittedError("LinearModel used before fit()")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``X`` (shape ``(n, m)`` or ``(m,)``)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.shape[1] != self.coef_.shape[0]:
+            raise InvalidParameterError(
+                f"expected {self.coef_.shape[0]} features, got {X.shape[1]}"
+            )
+        out = X @ self.coef_ + self.intercept_
+        return out[0:1][0] if single else out
+
+    # ------------------------------------------------------------------
+    def drop_small_terms(self, X: np.ndarray, y: np.ndarray, threshold: float = 0.01) -> "LinearModel":
+        """Refit keeping only attributes that matter (M5's term dropping).
+
+        An attribute is dropped when zeroing its coefficient changes the
+        training RMSE by less than ``threshold`` (relative).  The paper notes
+        that dropping the other tunables from the cpu-tile model *increased*
+        accuracy — this is the mechanism that allows it.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        base_rmse = float(np.sqrt(np.mean((self.predict(X) - y) ** 2))) + 1e-12
+        keep = np.ones(self.coef_.shape[0], dtype=bool)
+        for idx in range(self.coef_.shape[0]):
+            coef_backup = self.coef_[idx]
+            self.coef_[idx] = 0.0
+            dropped_rmse = float(np.sqrt(np.mean((self.predict(X) - y) ** 2)))
+            self.coef_[idx] = coef_backup
+            if (dropped_rmse - base_rmse) / base_rmse < threshold:
+                keep[idx] = False
+        if keep.all():
+            return self
+        # Refit on the kept attributes, then expand back to full width.
+        refit = LinearModel(ridge=self.ridge).fit(X[:, keep], y)
+        coef = np.zeros_like(self.coef_)
+        coef[keep] = refit.coef_
+        self.coef_ = coef
+        self.intercept_ = refit.intercept_
+        return self
+
+    # ------------------------------------------------------------------
+    def equation(self, precision: int = 4) -> str:
+        """Human-readable equation (used by the Figure 9 model-tree dump)."""
+        self._check_fitted()
+        names = self.feature_names or [f"x{i}" for i in range(self.coef_.shape[0])]
+        terms = []
+        for coef, name in zip(self.coef_, names):
+            if abs(coef) < 10 ** (-precision):
+                continue
+            terms.append(f"{coef:+.{precision}g} * {name}")
+        terms.append(f"{self.intercept_:+.{precision}g}")
+        body = " ".join(terms)
+        return body.lstrip("+").strip()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        self._check_fitted()
+        return {
+            "coef": self.coef_.tolist(),
+            "intercept": self.intercept_,
+            "feature_names": self.feature_names,
+            "ridge": self.ridge,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinearModel":
+        """Rebuild a model serialised by :meth:`to_dict`."""
+        model = cls(ridge=float(data.get("ridge", 1e-8)))
+        model.coef_ = np.asarray(data["coef"], dtype=float)
+        model.intercept_ = float(data["intercept"])
+        model.feature_names = data.get("feature_names")
+        return model

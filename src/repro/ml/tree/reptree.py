@@ -1,0 +1,236 @@
+"""REP tree: a regression tree with reduced-error pruning.
+
+The paper uses Weka's REPTree for the binary gpu-tile decision (Section
+4.1.5).  The implementation here grows a variance-reduction tree and then
+prunes it bottom-up against a held-out pruning set: a subtree is replaced by
+a leaf whenever the leaf's error on the pruning set is no worse than the
+subtree's (classic reduced-error pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError, ModelNotFittedError
+from repro.ml.dataset import Dataset
+from repro.ml.tree.splitter import best_split
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class _Node:
+    """One node of the tree; leaves predict their mean target value."""
+
+    prediction: float
+    n_samples: int
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None or self.right is None
+
+    def to_dict(self) -> dict:
+        out = {
+            "prediction": self.prediction,
+            "n_samples": self.n_samples,
+            "depth": self.depth,
+        }
+        if not self.is_leaf:
+            out.update(
+                feature=self.feature,
+                threshold=self.threshold,
+                left=self.left.to_dict(),
+                right=self.right.to_dict(),
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_Node":
+        node = cls(
+            prediction=float(data["prediction"]),
+            n_samples=int(data["n_samples"]),
+            depth=int(data.get("depth", 0)),
+        )
+        if "left" in data:
+            node.feature = int(data["feature"])
+            node.threshold = float(data["threshold"])
+            node.left = cls.from_dict(data["left"])
+            node.right = cls.from_dict(data["right"])
+        return node
+
+
+class REPTree:
+    """Variance-reduction regression tree with reduced-error pruning."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_leaf: int = 3,
+        prune_fraction: float = 0.25,
+        prune: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise InvalidParameterError(f"max_depth must be >= 1, got {max_depth}")
+        if min_leaf < 1:
+            raise InvalidParameterError(f"min_leaf must be >= 1, got {min_leaf}")
+        if not 0.0 < prune_fraction < 1.0:
+            raise InvalidParameterError(
+                f"prune_fraction must be in (0, 1), got {prune_fraction}"
+            )
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.prune_fraction = prune_fraction
+        self.prune = prune
+        self.seed = seed
+        self.root: _Node | None = None
+        self.feature_names: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "REPTree":
+        """Grow the tree on a growing split and prune it on the held-out rest."""
+        self.feature_names = list(dataset.feature_names)
+        if self.prune and dataset.n_samples >= 8:
+            grow, prune_set = dataset.split(1.0 - self.prune_fraction, seed=make_rng(self.seed))
+        else:
+            grow, prune_set = dataset, None
+        self.root = self._grow(grow.X, grow.y, depth=0)
+        if prune_set is not None and prune_set.n_samples > 0:
+            self._reduced_error_prune(self.root, prune_set.X, prune_set.y)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(np.mean(y)), n_samples=y.size, depth=depth)
+        if depth >= self.max_depth or y.size < 2 * self.min_leaf:
+            return node
+        split = best_split(X, y, min_leaf=self.min_leaf, criterion="variance")
+        if split is None:
+            return node
+        mask = X[:, split.feature] <= split.threshold
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _reduced_error_prune(self, node: _Node, X: np.ndarray, y: np.ndarray) -> float:
+        """Prune bottom-up; returns the node's squared error on (X, y)."""
+        leaf_error = float(np.sum((y - node.prediction) ** 2)) if y.size else 0.0
+        if node.is_leaf:
+            return leaf_error
+        mask = X[:, node.feature] <= node.threshold
+        left_error = self._reduced_error_prune(node.left, X[mask], y[mask])
+        right_error = self._reduced_error_prune(node.right, X[~mask], y[~mask])
+        subtree_error = left_error + right_error
+        if leaf_error <= subtree_error + 1e-12:
+            # Collapse: the held-out data does not justify the subtree.
+            node.left = None
+            node.right = None
+            node.feature = None
+            return leaf_error
+        return subtree_error
+
+    # ------------------------------------------------------------------
+    # Prediction / introspection
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.root is None:
+            raise ModelNotFittedError("REPTree used before fit()")
+
+    def _predict_one(self, x: np.ndarray) -> float:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for each row of ``X``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        out = np.array([self._predict_one(row) for row in X])
+        return out[0] if single else out
+
+    def predict_binary(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary decisions for {0, 1} targets (the gpu-tile use case)."""
+        return (self.predict(X) >= threshold).astype(int)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves of the (pruned) tree."""
+        self._check_fitted()
+
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self.root)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the (pruned) tree; 0 for a single leaf."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def to_text(self) -> str:
+        """Indented text rendering of the tree."""
+        self._check_fitted()
+        names = self.feature_names or []
+        lines: list[str] = []
+
+        def walk(node: _Node, indent: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{indent}-> {node.prediction:.4g} ({node.n_samples})")
+                return
+            name = names[node.feature] if node.feature < len(names) else f"x{node.feature}"
+            lines.append(f"{indent}{name} <= {node.threshold:.4g}")
+            walk(node.left, indent + "|   ")
+            lines.append(f"{indent}{name} > {node.threshold:.4g}")
+            walk(node.right, indent + "|   ")
+
+        walk(self.root, "")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        self._check_fitted()
+        return {
+            "type": "reptree",
+            "max_depth": self.max_depth,
+            "min_leaf": self.min_leaf,
+            "prune_fraction": self.prune_fraction,
+            "feature_names": self.feature_names,
+            "root": self.root.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "REPTree":
+        """Rebuild a tree serialised by :meth:`to_dict`."""
+        tree = cls(
+            max_depth=int(data["max_depth"]),
+            min_leaf=int(data["min_leaf"]),
+            prune_fraction=float(data["prune_fraction"]),
+        )
+        tree.feature_names = data.get("feature_names")
+        tree.root = _Node.from_dict(data["root"])
+        return tree

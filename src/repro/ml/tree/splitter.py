@@ -1,0 +1,91 @@
+"""Split search shared by the REP and M5P trees.
+
+Both trees grow by choosing, at every node, the (feature, threshold) pair
+that maximises the reduction of the target's spread.  M5 uses the expected
+*standard deviation reduction* (SDR); the REP tree uses variance reduction.
+Both are computed here from cumulative sums so a node's split search costs
+``O(n_features * n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """A candidate split: ``feature <= threshold`` goes left."""
+
+    feature: int
+    threshold: float
+    gain: float
+    n_left: int
+    n_right: int
+
+
+def _spread(sum_y: float, sum_y2: float, n: int, criterion: str) -> float:
+    """Variance or standard deviation of a group given its running sums."""
+    if n <= 0:
+        return 0.0
+    mean = sum_y / n
+    var = max(0.0, sum_y2 / n - mean * mean)
+    return np.sqrt(var) if criterion == "sdr" else var
+
+
+def best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    min_leaf: int = 2,
+    criterion: str = "sdr",
+) -> SplitCandidate | None:
+    """Best split of (X, y), or ``None`` when no admissible split exists.
+
+    ``criterion`` is ``"sdr"`` (standard deviation reduction, M5) or
+    ``"variance"`` (variance reduction, REP tree).
+    """
+    if criterion not in ("sdr", "variance"):
+        raise InvalidParameterError(f"unknown split criterion {criterion!r}")
+    if min_leaf < 1:
+        raise InvalidParameterError(f"min_leaf must be >= 1, got {min_leaf}")
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, m = X.shape
+    if n < 2 * min_leaf:
+        return None
+    parent_spread = _spread(float(y.sum()), float((y * y).sum()), n, criterion)
+    if parent_spread < 1e-12:
+        return None
+
+    best: SplitCandidate | None = None
+    for feature in range(m):
+        order = np.argsort(X[:, feature], kind="stable")
+        xs = X[order, feature]
+        ys = y[order]
+        # Candidate cut positions: between distinct consecutive feature values.
+        cum_y = np.cumsum(ys)
+        cum_y2 = np.cumsum(ys * ys)
+        total_y = cum_y[-1]
+        total_y2 = cum_y2[-1]
+        for cut in range(min_leaf, n - min_leaf + 1):
+            if xs[cut - 1] == xs[cut]:
+                continue
+            n_left = cut
+            n_right = n - cut
+            left = _spread(cum_y[cut - 1], cum_y2[cut - 1], n_left, criterion)
+            right = _spread(total_y - cum_y[cut - 1], total_y2 - cum_y2[cut - 1], n_right, criterion)
+            gain = parent_spread - (n_left / n) * left - (n_right / n) * right
+            if best is None or gain > best.gain:
+                best = SplitCandidate(
+                    feature=feature,
+                    threshold=float((xs[cut - 1] + xs[cut]) / 2.0),
+                    gain=float(gain),
+                    n_left=n_left,
+                    n_right=n_right,
+                )
+    if best is None or best.gain <= 1e-12:
+        return None
+    return best

@@ -1,0 +1,37 @@
+"""Execution engines for the wavefront pattern.
+
+Executors come in two flavours:
+
+* :class:`repro.runtime.serial.SerialExecutor` — the optimised sequential
+  baseline, also the reference implementation the others are validated
+  against;
+* :class:`repro.runtime.hybrid.HybridExecutor` — the paper's three-phase
+  CPU / GPU / CPU strategy, parameterised by
+  :class:`repro.core.params.TunableParams`, built from the tiled CPU-parallel
+  executor and the single-/multi-GPU band executors.
+
+Every executor supports two modes: ``functional`` (cell values are really
+computed, results validated against the serial sweep) and ``simulate`` (only
+the analytic cost model is evaluated, used by the large parameter sweeps).
+"""
+
+from repro.runtime.result import ExecutionResult
+from repro.runtime.timeline import Timeline
+from repro.runtime.executor_base import ExecutionMode, Executor
+from repro.runtime.serial import SerialExecutor
+from repro.runtime.cpu_parallel import CPUParallelExecutor
+from repro.runtime.gpu_single import SingleGPUBandExecutor
+from repro.runtime.gpu_multi import MultiGPUBandExecutor
+from repro.runtime.hybrid import HybridExecutor
+
+__all__ = [
+    "ExecutionResult",
+    "Timeline",
+    "ExecutionMode",
+    "Executor",
+    "SerialExecutor",
+    "CPUParallelExecutor",
+    "SingleGPUBandExecutor",
+    "MultiGPUBandExecutor",
+    "HybridExecutor",
+]

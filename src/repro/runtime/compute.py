@@ -1,0 +1,95 @@
+"""Shared functional computation helpers.
+
+Everything that actually evaluates kernel values on the host grid lives here,
+so that the serial executor, the tiled CPU-parallel executor and the CPU
+phases of the hybrid executor produce bit-identical results by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import diagonal as dg
+from repro.core.exceptions import ExecutionError
+from repro.core.grid import WavefrontGrid
+from repro.core.pattern import WavefrontProblem
+from repro.core.tiling import Tile
+
+
+def compute_cells(
+    problem: WavefrontProblem,
+    grid: WavefrontGrid,
+    i: np.ndarray,
+    j: np.ndarray,
+) -> None:
+    """Compute the cells ``(i, j)`` in place, assuming their deps are ready.
+
+    All cells passed in one call must be mutually independent (i.e. lie on a
+    single anti-diagonal, possibly restricted to a tile).
+    """
+    i = np.asarray(i)
+    j = np.asarray(j)
+    if i.size == 0:
+        return
+    west, north, nw = grid.neighbours(i, j, boundary=problem.boundary)
+    values = problem.kernel.diagonal(i, j, west, north, nw)
+    values = problem.kernel.validate_output(values, i.size)
+    grid.values[i, j] = values
+
+
+def compute_diagonal(problem: WavefrontProblem, grid: WavefrontGrid, d: int) -> int:
+    """Compute one full anti-diagonal of the grid; returns the cell count."""
+    cells = dg.diagonal_cells(d, grid.dim, grid.dim)
+    compute_cells(problem, grid, cells[:, 0], cells[:, 1])
+    return cells.shape[0]
+
+
+def compute_diagonal_range(
+    problem: WavefrontProblem, grid: WavefrontGrid, d_lo: int, d_hi: int
+) -> int:
+    """Compute diagonals ``d_lo .. d_hi`` inclusive; returns total cells computed."""
+    if d_hi < d_lo:
+        return 0
+    total = 0
+    for d in range(d_lo, d_hi + 1):
+        total += compute_diagonal(problem, grid, d)
+    return total
+
+
+def compute_tile(problem: WavefrontProblem, grid: WavefrontGrid, tile: Tile) -> int:
+    """Compute every cell of ``tile``, sweeping the tile's own anti-diagonals.
+
+    The caller is responsible for ordering tiles so that the west / north /
+    north-west neighbour tiles are already complete (the tile wavefront).
+    """
+    n_local_diags = tile.n_rows + tile.n_cols - 1
+    total = 0
+    for ld in range(n_local_diags):
+        i_lo = max(0, ld - (tile.n_cols - 1))
+        i_hi = min(tile.n_rows - 1, ld)
+        li = np.arange(i_lo, i_hi + 1)
+        lj = ld - li
+        compute_cells(problem, grid, tile.row_start + li, tile.col_start + lj)
+        total += li.size
+    return total
+
+
+def reference_grid(problem: WavefrontProblem) -> WavefrontGrid:
+    """Compute the whole problem with a plain serial sweep (reference result)."""
+    grid = problem.make_grid()
+    compute_diagonal_range(problem, grid, 0, 2 * problem.dim - 2)
+    return grid
+
+
+def verify_against_reference(
+    problem: WavefrontProblem, grid: WavefrontGrid, rtol: float = 1e-9, atol: float = 1e-9
+) -> None:
+    """Raise :class:`ExecutionError` when ``grid`` differs from the serial sweep."""
+    ref = reference_grid(problem)
+    if not ref.allclose(grid, rtol=rtol, atol=atol):
+        diff = np.abs(ref.values - grid.values)
+        worst = np.unravel_index(np.argmax(diff), diff.shape)
+        raise ExecutionError(
+            f"functional result mismatch for {problem.name!r}: max error "
+            f"{diff.max():.3e} at cell {worst}"
+        )

@@ -1,0 +1,57 @@
+"""Tiled CPU-parallel execution of the whole grid (the paper's scheme (b))."""
+
+from __future__ import annotations
+
+from repro.core.grid import WavefrontGrid
+from repro.core.params import TunableParams
+from repro.core.pattern import WavefrontProblem
+from repro.core.tiling import TileDecomposition
+from repro.hardware.costmodel import PhaseBreakdown
+from repro.runtime.compute import compute_tile
+from repro.runtime.executor_base import Executor
+from repro.runtime.scheduler import TileScheduler, run_schedule
+
+
+class CPUParallelExecutor(Executor):
+    """Whole-grid tiled parallel execution across all CPU cores, no GPU phase.
+
+    Functionally the tile wavefront is executed wave by wave (optionally on a
+    real thread pool); the simulated runtime is the cost model's
+    :meth:`repro.hardware.costmodel.CostModel.cpu_parallel_time`.
+    """
+
+    strategy = "cpu-parallel"
+
+    def __init__(self, system, constants=None, use_threads: bool = False) -> None:
+        super().__init__(system, constants)
+        self.use_threads = use_threads
+
+    def _breakdown(self, problem: WavefrontProblem, tunables: TunableParams) -> PhaseBreakdown:
+        params = problem.input_params()
+        return PhaseBreakdown(
+            pre_s=self.cost_model.cpu_parallel_time(params, tunables.cpu_tile)
+        )
+
+    def _run_functional(
+        self, problem: WavefrontProblem, tunables: TunableParams
+    ) -> tuple[WavefrontGrid, dict]:
+        grid = problem.make_grid()
+        decomp = TileDecomposition(problem.dim, problem.dim, tunables.cpu_tile)
+        scheduler = TileScheduler(decomp, workers=self.system.cpu.workers)
+        executed = run_schedule(
+            scheduler.waves(),
+            lambda tile: compute_tile(problem, grid, tile),
+            use_threads=self.use_threads,
+            max_workers=self.system.cpu.workers,
+        )
+        return grid, {
+            "tiles_executed": executed,
+            "tile_waves": scheduler.n_waves,
+            "workers": self.system.cpu.workers,
+        }
+
+    def _validate(self, problem: WavefrontProblem, tunables: TunableParams) -> TunableParams:
+        # This strategy never uses a GPU: keep the cpu_tile choice but drop
+        # any GPU-related settings the caller may have passed.
+        tunables = tunables.clipped(problem.dim)
+        return TunableParams(cpu_tile=tunables.cpu_tile)

@@ -1,0 +1,33 @@
+"""Whole-grid execution across two GPUs with halo exchange."""
+
+from __future__ import annotations
+
+from repro.core.params import TunableParams
+from repro.core.pattern import WavefrontProblem
+from repro.runtime.hybrid import HybridExecutor
+
+
+class MultiGPUBandExecutor(HybridExecutor):
+    """Run the entire grid in the GPU phase, split across two devices.
+
+    The halo size controls how often the two devices exchange border data
+    through the host; it defaults to 0 (exchange after every diagonal) and
+    can be set to study the halo trade-off directly (see the halo ablation
+    bench).
+    """
+
+    strategy = "gpu-only-multi"
+
+    def __init__(self, system, constants=None, halo: int = 0, gpu_tile: int = 1) -> None:
+        super().__init__(system, constants)
+        self.halo = halo
+        self.gpu_tile = gpu_tile
+
+    def _validate(self, problem: WavefrontProblem, tunables: TunableParams) -> TunableParams:
+        forced = TunableParams.from_encoding(
+            cpu_tile=1,
+            band=problem.dim - 1,
+            halo=max(0, self.halo),
+            gpu_tile=self.gpu_tile,
+        )
+        return super()._validate(problem, forced)

@@ -1,0 +1,28 @@
+"""Whole-grid execution on a single GPU (the paper's scheme (c), one device)."""
+
+from __future__ import annotations
+
+from repro.core.params import TunableParams
+from repro.core.pattern import WavefrontProblem
+from repro.runtime.hybrid import HybridExecutor
+
+
+class SingleGPUBandExecutor(HybridExecutor):
+    """Run the entire grid in the GPU phase on one device.
+
+    This is the "entirely in the GPU" simple scheme the heatmap points are
+    compared against in Figure 6; it is the hybrid executor with the band
+    forced to cover every diagonal and a single device selected.
+    """
+
+    strategy = "gpu-only-single"
+
+    def __init__(self, system, constants=None, gpu_tile: int = 1) -> None:
+        super().__init__(system, constants)
+        self.gpu_tile = gpu_tile
+
+    def _validate(self, problem: WavefrontProblem, tunables: TunableParams) -> TunableParams:
+        forced = TunableParams.from_encoding(
+            cpu_tile=1, band=problem.dim - 1, halo=-1, gpu_tile=self.gpu_tile
+        )
+        return super()._validate(problem, forced)

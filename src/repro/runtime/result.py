@@ -1,0 +1,83 @@
+"""The result object returned by every executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.grid import WavefrontGrid
+from repro.core.params import InputParams, TunableParams
+from repro.hardware.costmodel import PhaseBreakdown
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one wavefront instance under one configuration.
+
+    ``rtime`` is the paper's quantity of interest: the simulated end-to-end
+    runtime in seconds on the target platform.  ``wall_time`` is how long the
+    reproduction actually took on the host (only meaningful in functional
+    mode).  ``grid`` is populated in functional mode only.
+    """
+
+    params: InputParams
+    tunables: TunableParams
+    system: str
+    mode: str
+    rtime: float
+    breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    grid: WavefrontGrid | None = None
+    wall_time: float = 0.0
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def value(self) -> float:
+        """The wavefront's "answer": the value of the final cell (dim-1, dim-1).
+
+        Only available in functional mode.
+        """
+        if self.grid is None:
+            raise ValueError("functional grid not available for this result")
+        return float(self.grid.values[-1, -1])
+
+    @property
+    def checksum(self) -> float:
+        """Sum of all grid values; a cheap whole-grid equality fingerprint."""
+        if self.grid is None:
+            raise ValueError("functional grid not available for this result")
+        return float(np.sum(self.grid.values))
+
+    def matches(self, other: "ExecutionResult", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """True when both results carry grids with element-wise equal values."""
+        if self.grid is None or other.grid is None:
+            return False
+        return self.grid.allclose(other.grid, rtol=rtol, atol=atol)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dictionary used by reports and persistence."""
+        out: dict[str, Any] = {
+            "system": self.system,
+            "mode": self.mode,
+            "dim": self.params.dim,
+            "tsize": self.params.tsize,
+            "dsize": self.params.dsize,
+            "cpu_tile": self.tunables.cpu_tile,
+            "band": self.tunables.band,
+            "gpu_count": self.tunables.gpu_count,
+            "gpu_tile": self.tunables.gpu_tile,
+            "halo": self.tunables.halo,
+            "rtime": self.rtime,
+            "wall_time": self.wall_time,
+        }
+        out.update({f"breakdown_{k}": v for k, v in self.breakdown.to_dict().items()})
+        out.update(self.stats)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionResult(system={self.system!r}, mode={self.mode!r}, "
+            f"dim={self.params.dim}, tsize={self.params.tsize}, "
+            f"config={self.tunables.describe()}, rtime={self.rtime:.4g}s)"
+        )

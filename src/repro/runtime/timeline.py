@@ -1,0 +1,50 @@
+"""Simulated-time accounting for the executors.
+
+A :class:`Timeline` accumulates simulated seconds under named categories
+(``cpu_pre``, ``gpu_compute``, ``transfer`` ...).  The hybrid executor builds
+its :class:`repro.hardware.costmodel.PhaseBreakdown` from it, and the tests
+use it to verify that functional and simulate modes charge identical time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.exceptions import ExecutionError
+
+
+class Timeline:
+    """Accumulator of simulated seconds by category."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, float] = defaultdict(float)
+
+    def charge(self, category: str, seconds: float) -> None:
+        """Add ``seconds`` of simulated time to ``category``."""
+        if seconds < 0:
+            raise ExecutionError(
+                f"cannot charge negative time ({seconds!r} s) to {category!r}"
+            )
+        self._buckets[category] += float(seconds)
+
+    def get(self, category: str) -> float:
+        """Seconds accumulated under ``category`` (0.0 if never charged)."""
+        return self._buckets.get(category, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Total simulated seconds across all categories."""
+        return float(sum(self._buckets.values()))
+
+    def merge(self, other: "Timeline") -> None:
+        """Add all of ``other``'s charges into this timeline."""
+        for category, seconds in other._buckets.items():
+            self._buckets[category] += seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the category -> seconds mapping."""
+        return dict(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.4g}" for k, v in sorted(self._buckets.items()))
+        return f"Timeline({parts})"

@@ -1,0 +1,30 @@
+"""Minimal logging configuration shared by CLI examples and benches."""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a package-scoped logger (``repro`` or ``repro.<name>``)."""
+    if name:
+        return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+    return logging.getLogger(_PACKAGE_LOGGER_NAME)
+
+
+def configure_logging(verbose: bool = False) -> None:
+    """Configure a console handler for the package logger.
+
+    Idempotent: calling it twice does not duplicate handlers, so examples can
+    call it unconditionally.
+    """
+    logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

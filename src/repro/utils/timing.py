@@ -1,0 +1,78 @@
+"""Wall-clock timing helpers.
+
+The paper measures whole-program wall-clock runtime averaged over three runs.
+:class:`Stopwatch` and :func:`repeat_timer` mirror that protocol for the
+functional execution paths; the simulated paths report model time instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def repeat_timer(func: Callable[[], T], repeats: int = 3) -> tuple[T, float, float]:
+    """Run ``func`` ``repeats`` times; return (last result, mean, stdev).
+
+    Mirrors the paper's "averaging across three runs" measurement protocol.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times: list[float] = []
+    result: T = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = func()
+        times.append(time.perf_counter() - t0)
+    mean = sum(times) / len(times)
+    if len(times) > 1:
+        var = sum((t - mean) ** 2 for t in times) / (len(times) - 1)
+    else:
+        var = 0.0
+    return result, mean, var**0.5

@@ -1,0 +1,126 @@
+"""Tests for the Nash, Smith-Waterman and knapsack applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knapsack import KnapsackApp, KnapsackKernel
+from repro.apps.nash import NASH_DSIZE, NASH_TSIZE, NashEquilibriumApp, NashKernel
+from repro.apps.registry import APPLICATIONS, available_applications, get_application
+from repro.apps.sequence import (
+    SW_DSIZE,
+    SW_TSIZE,
+    SequenceComparisonApp,
+    SmithWatermanKernel,
+    decode_dna,
+    mutate,
+    random_dna,
+)
+from repro.core.exceptions import InvalidParameterError
+from repro.runtime.compute import reference_grid
+
+
+class TestNash:
+    def test_synthetic_scale_mapping(self):
+        """Section 3.2.1: one Nash iteration ~ tsize=750, dsize=4."""
+        kernel = NashKernel()
+        assert kernel.tsize == NASH_TSIZE == 750.0
+        assert kernel.dsize == NASH_DSIZE == 4
+
+    def test_values_bounded(self):
+        grid = reference_grid(NashEquilibriumApp(dim=20).problem())
+        assert np.all(np.isfinite(grid.values))
+        assert np.all(np.abs(grid.values) < 10.0)
+
+    def test_inner_iterations_change_result(self):
+        shallow = reference_grid(NashEquilibriumApp(dim=12, inner_iterations=1).problem())
+        deep = reference_grid(NashEquilibriumApp(dim=12, inner_iterations=20).problem())
+        assert not np.allclose(shallow.values, deep.values)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NashKernel(inner_iterations=0)
+        with pytest.raises(InvalidParameterError):
+            NashKernel(damping=0.0)
+
+
+class TestSmithWaterman:
+    def test_synthetic_scale_mapping(self):
+        """Section 3.2.1: sequence comparison ~ tsize=0.5, dsize=0."""
+        kernel = SequenceComparisonApp(dim=16, seed=1).make_kernel()
+        assert kernel.tsize == SW_TSIZE == 0.5
+        assert kernel.dsize == SW_DSIZE == 0
+
+    def test_identical_sequences_score_matches_length(self):
+        seq = random_dna(20, seed=5)
+        kernel = SmithWatermanKernel(seq, seq, match=2.0, mismatch=-1.0, gap=1.0)
+        from repro.core.pattern import WavefrontProblem
+
+        grid = reference_grid(WavefrontProblem(dim=20, kernel=kernel))
+        # Perfect self-alignment along the main diagonal: score 2 per base.
+        assert grid.values[-1, -1] == pytest.approx(2.0 * 20)
+
+    def test_scores_non_negative(self):
+        grid = reference_grid(SequenceComparisonApp(dim=24, similarity=0.3, seed=2).problem())
+        assert np.all(grid.values >= 0.0)
+
+    def test_more_similar_sequences_score_higher(self):
+        close = reference_grid(SequenceComparisonApp(dim=32, similarity=0.95, seed=7).problem())
+        far = reference_grid(SequenceComparisonApp(dim=32, similarity=0.05, seed=7).problem())
+        assert close.values.max() > far.values.max()
+
+    def test_sequence_helpers(self):
+        seq = random_dna(50, seed=1)
+        assert set(np.unique(seq)).issubset({0, 1, 2, 3})
+        mutated = mutate(seq, rate=1.0, seed=2)
+        assert mutated.shape == seq.shape
+        assert len(decode_dna(seq)) == 50
+        with pytest.raises(InvalidParameterError):
+            random_dna(0)
+        with pytest.raises(InvalidParameterError):
+            mutate(seq, rate=1.5)
+
+
+class TestKnapsack:
+    def test_dp_matches_greedy_optimum(self):
+        app = KnapsackApp(dim=30, seed=11)
+        kernel = app.make_kernel()
+        grid = reference_grid(app.problem())
+        # Row i, column w: best value using items 0..i with capacity w.
+        n = 29
+        assert grid.values[n, n] == pytest.approx(kernel.optimum(capacity=n, n_items=n + 1))
+
+    def test_monotone_in_capacity_and_items(self):
+        grid = reference_grid(KnapsackApp(dim=20, seed=3).problem())
+        assert np.all(np.diff(grid.values, axis=1) >= -1e-12)  # more capacity never hurts
+        assert np.all(np.diff(grid.values, axis=0) >= -1e-12)  # more items never hurt
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KnapsackKernel(np.array([-1.0, 2.0]))
+        with pytest.raises(InvalidParameterError):
+            KnapsackApp(max_value=0)
+
+
+class TestRegistry:
+    def test_all_four_applications_registered(self):
+        assert set(available_applications()) == {
+            "synthetic",
+            "nash-equilibrium",
+            "sequence-comparison",
+            "knapsack",
+        }
+
+    def test_get_application_with_kwargs(self):
+        app = get_application("synthetic", dim=64, tsize=10, dsize=1)
+        assert app.problem().dim == 64
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            get_application("raytracer")
+
+    def test_factories_produce_working_problems(self):
+        for name in APPLICATIONS:
+            app = get_application(name)
+            app.default_dim = 12
+            grid = reference_grid(app.problem(12))
+            assert np.all(np.isfinite(grid.values))

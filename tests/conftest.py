@@ -1,0 +1,109 @@
+"""Shared fixtures for the test suite.
+
+The heaviest fixtures (exhaustive sweeps, trained tuners) are session-scoped
+and use the tiny/reduced parameter spaces so the full suite stays fast while
+still exercising the real training pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.nash import NashEquilibriumApp
+from repro.apps.sequence import SequenceComparisonApp
+from repro.apps.synthetic import SyntheticApp
+from repro.autotuner.exhaustive import ExhaustiveSearch
+from repro.autotuner.training import TrainingSetBuilder
+from repro.autotuner.tuner import AutoTuner
+from repro.core.parameter_space import ParameterSpace
+from repro.hardware import platforms
+
+
+@pytest.fixture(scope="session")
+def i3():
+    """The single-GPU Table 4 system."""
+    return platforms.I3_540
+
+
+@pytest.fixture(scope="session")
+def i7_2600k():
+    """The quad-GPU (dual-usable) Table 4 system."""
+    return platforms.I7_2600K
+
+
+@pytest.fixture(scope="session")
+def i7_3820():
+    """The dual-Tesla Table 4 system."""
+    return platforms.I7_3820
+
+
+@pytest.fixture(scope="session", params=["i3-540", "i7-2600K", "i7-3820"])
+def any_system(request):
+    """Parametrised fixture running a test on each of the three systems."""
+    return platforms.get_system(request.param)
+
+
+@pytest.fixture()
+def small_synthetic():
+    """A synthetic problem small enough for functional execution."""
+    return SyntheticApp(dim=32, tsize=100, dsize=1).problem()
+
+
+@pytest.fixture()
+def small_nash():
+    """A small Nash-equilibrium problem."""
+    return NashEquilibriumApp(dim=24).problem()
+
+
+@pytest.fixture()
+def small_sequence():
+    """A small Smith-Waterman problem."""
+    return SequenceComparisonApp(dim=30, seed=3).problem()
+
+
+@pytest.fixture(scope="session")
+def tiny_space():
+    """The tiny parameter space used to keep sweeps fast in tests."""
+    return ParameterSpace.tiny()
+
+
+@pytest.fixture(scope="session")
+def reduced_space():
+    """The reduced (paper-shaped) parameter space."""
+    return ParameterSpace.reduced()
+
+
+@pytest.fixture(scope="session")
+def tiny_results_i7(tiny_space, i7_2600k):
+    """Exhaustive-search results of the tiny space on the i7-2600K."""
+    return ExhaustiveSearch(i7_2600k, tiny_space).sweep()
+
+
+@pytest.fixture(scope="session")
+def tiny_results_i3(tiny_space, i3):
+    """Exhaustive-search results of the tiny space on the i3-540."""
+    return ExhaustiveSearch(i3, tiny_space).sweep()
+
+
+@pytest.fixture(scope="session")
+def tiny_training(tiny_results_i7):
+    """Training set built from the tiny sweep."""
+    return TrainingSetBuilder().build(tiny_results_i7)
+
+
+@pytest.fixture(scope="session")
+def trained_tuner_i7(tiny_space, i7_2600k):
+    """A trained AutoTuner on the tiny space (fast, session-scoped)."""
+    return AutoTuner(i7_2600k, space=tiny_space).train()
+
+
+@pytest.fixture(scope="session")
+def reduced_tuner_i7(reduced_space, i7_2600k):
+    """A trained AutoTuner on the reduced space (used by the evaluation tests)."""
+    return AutoTuner(i7_2600k, space=reduced_space).train()
+
+
+@pytest.fixture(scope="session")
+def quick_tuner_i3(tiny_space, i3):
+    """A trained AutoTuner for the single-GPU system on the tiny space."""
+    return AutoTuner(i3, space=tiny_space).train()

@@ -1,0 +1,81 @@
+"""Tests for the wavefront value grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.grid import WavefrontGrid
+
+
+class TestWavefrontGrid:
+    def test_shapes_and_payload(self):
+        grid = WavefrontGrid(dim=8, dsize=3)
+        assert grid.values.shape == (8, 8)
+        assert grid.payload.shape == (8, 8, 3)
+        assert grid.meta.shape == (8, 8, 2)
+
+    def test_no_payload_when_dsize_zero(self):
+        assert WavefrontGrid(dim=4, dsize=0).payload is None
+
+    def test_diagonal_roundtrip(self):
+        grid = WavefrontGrid(dim=5)
+        vals = np.arange(4, dtype=float)
+        grid.set_diagonal(3, vals)
+        assert np.array_equal(grid.get_diagonal(3), vals)
+
+    def test_set_diagonal_wrong_length_rejected(self):
+        grid = WavefrontGrid(dim=5)
+        with pytest.raises(InvalidParameterError):
+            grid.set_diagonal(3, np.zeros(5))
+
+    def test_segment_roundtrip(self):
+        grid = WavefrontGrid(dim=6)
+        grid.set_diagonal(5, np.arange(6, dtype=float))
+        seg = grid.get_diagonal_segment(5, 2, 5)
+        assert np.array_equal(seg, [2.0, 3.0, 4.0])
+        grid.set_diagonal_segment(5, 0, np.array([9.0, 8.0]))
+        assert grid.get_diagonal(5)[0] == 9.0 and grid.get_diagonal(5)[1] == 8.0
+
+    def test_segment_out_of_range_rejected(self):
+        grid = WavefrontGrid(dim=4)
+        with pytest.raises(InvalidParameterError):
+            grid.set_diagonal_segment(0, 0, np.zeros(2))
+
+    def test_neighbours_boundary(self):
+        grid = WavefrontGrid(dim=4)
+        grid.values[:] = 7.0
+        west, north, nw = grid.neighbours(np.array([0]), np.array([0]), boundary=-1.0)
+        assert west[0] == -1.0 and north[0] == -1.0 and nw[0] == -1.0
+
+    def test_neighbours_interior(self):
+        grid = WavefrontGrid(dim=4)
+        grid.values[1, 1] = 5.0
+        grid.values[1, 2] = 6.0
+        grid.values[2, 1] = 7.0
+        west, north, nw = grid.neighbours(np.array([2]), np.array([2]))
+        assert (west[0], north[0], nw[0]) == (7.0, 6.0, 5.0)
+
+    def test_copy_is_deep(self):
+        grid = WavefrontGrid(dim=4, dsize=1)
+        clone = grid.copy()
+        clone.values[0, 0] = 42.0
+        assert grid.values[0, 0] == 0.0
+
+    def test_allclose(self):
+        a = WavefrontGrid(dim=4)
+        b = WavefrontGrid(dim=4)
+        assert a.allclose(b)
+        b.values[2, 2] = 1e-3
+        assert not a.allclose(b)
+        assert not a.allclose(WavefrontGrid(dim=5))
+
+    def test_nbytes_positive_and_grows_with_dsize(self):
+        small = WavefrontGrid(dim=8, dsize=0).nbytes()
+        large = WavefrontGrid(dim=8, dsize=5).nbytes()
+        assert 0 < small < large
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WavefrontGrid(dim=1)
+        with pytest.raises(InvalidParameterError):
+            WavefrontGrid(dim=8, dsize=-2)

@@ -1,0 +1,70 @@
+"""Tests for the user-facing wavefront pattern API."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidParameterError, KernelError
+from repro.core.pattern import FunctionKernel, WavefrontProblem
+
+
+def max_plus_kernel():
+    return FunctionKernel(
+        lambda i, j, w, n, nw: np.maximum(w, n) + 1.0, tsize=2.0, dsize=1, name="max-plus"
+    )
+
+
+class TestFunctionKernel:
+    def test_cell_wraps_diagonal(self):
+        kernel = max_plus_kernel()
+        assert kernel.cell(1, 1, 2.0, 5.0, 0.0) == 6.0
+
+    def test_metadata(self):
+        kernel = max_plus_kernel()
+        assert kernel.tsize == 2.0 and kernel.dsize == 1 and kernel.name == "max-plus"
+
+    def test_invalid_metadata_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FunctionKernel(lambda *a: a, tsize=0)
+        with pytest.raises(InvalidParameterError):
+            FunctionKernel(lambda *a: a, dsize=-1)
+
+    def test_validate_output_shape(self):
+        kernel = max_plus_kernel()
+        with pytest.raises(KernelError):
+            kernel.validate_output(np.zeros((2, 2)), 4)
+        with pytest.raises(KernelError):
+            kernel.validate_output(np.zeros(3), 4)
+
+    def test_validate_output_rejects_nan(self):
+        kernel = max_plus_kernel()
+        with pytest.raises(KernelError):
+            kernel.validate_output(np.array([1.0, np.nan]), 2)
+
+    def test_validate_output_passthrough(self):
+        kernel = max_plus_kernel()
+        out = kernel.validate_output(np.array([1, 2, 3]), 3)
+        assert out.dtype == float
+
+
+class TestWavefrontProblem:
+    def test_input_params_from_kernel(self):
+        problem = WavefrontProblem(dim=16, kernel=max_plus_kernel())
+        params = problem.input_params()
+        assert params.dim == 16 and params.tsize == 2.0 and params.dsize == 1
+
+    def test_make_grid_matches_dsize(self):
+        problem = WavefrontProblem(dim=8, kernel=max_plus_kernel())
+        grid = problem.make_grid()
+        assert grid.dim == 8 and grid.dsize == 1
+
+    def test_features(self):
+        problem = WavefrontProblem(dim=8, kernel=max_plus_kernel())
+        assert problem.features() == {"dim": 8.0, "tsize": 2.0, "dsize": 1.0}
+
+    def test_name_defaults_to_kernel_name(self):
+        assert WavefrontProblem(dim=8, kernel=max_plus_kernel()).name == "max-plus"
+        assert WavefrontProblem(dim=8, kernel=max_plus_kernel(), name="custom").name == "custom"
+
+    def test_small_dim_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WavefrontProblem(dim=1, kernel=max_plus_kernel())

@@ -1,0 +1,80 @@
+"""Tests for device buffers and the event log."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DeviceError
+from repro.device.buffer import DeviceBuffer
+from repro.device.events import DeviceEvent, EventKind, EventLog
+
+
+class TestDeviceBuffer:
+    def test_write_read_roundtrip(self):
+        buf = DeviceBuffer("b", (4,))
+        nbytes = buf.write(np.arange(4.0))
+        assert nbytes == 32
+        assert np.array_equal(buf.read(), [0.0, 1.0, 2.0, 3.0])
+
+    def test_read_before_write_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceBuffer("b", (4,)).read()
+
+    def test_shape_mismatch_rejected(self):
+        buf = DeviceBuffer("b", (4,))
+        with pytest.raises(DeviceError):
+            buf.write(np.zeros(5))
+
+    def test_release_blocks_further_use(self):
+        buf = DeviceBuffer("b", (4,))
+        buf.write(np.zeros(4))
+        freed = buf.release()
+        assert freed == buf.nbytes and buf.released
+        with pytest.raises(DeviceError):
+            buf.read()
+        with pytest.raises(DeviceError):
+            buf.write(np.zeros(4))
+
+    def test_view_and_mark_written(self):
+        buf = DeviceBuffer("b", (3,))
+        buf.view()[:] = 7.0
+        buf.mark_written()
+        assert np.all(buf.read() == 7.0)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceBuffer("b", (-1,))
+
+
+class TestEventLog:
+    def test_counts_and_bytes(self):
+        log = EventLog()
+        log.record(DeviceEvent(EventKind.H2D, device=0, nbytes=100))
+        log.record(DeviceEvent(EventKind.H2D, device=1, nbytes=50))
+        log.record(DeviceEvent(EventKind.D2H, device=0, nbytes=10))
+        log.record(DeviceEvent(EventKind.KERNEL, device=0, work_items=64))
+        log.record(DeviceEvent(EventKind.HALO_SWAP, device=0))
+        assert log.bytes_h2d == 150 and log.bytes_d2h == 10
+        assert log.kernel_launches == 1 and log.halo_swaps == 1
+        assert log.count(EventKind.H2D, device=1) == 1
+        assert log.bytes_moved(EventKind.H2D, device=0) == 100
+        assert len(log) == 5
+
+    def test_summary_keys(self):
+        log = EventLog()
+        log.record(DeviceEvent(EventKind.DEVICE_INIT, device=0))
+        summary = log.summary()
+        assert summary["devices_initialised"] == 1
+        assert set(summary) >= {"kernel_launches", "halo_swaps", "bytes_h2d", "bytes_d2h"}
+
+    def test_extend_merges(self):
+        a, b = EventLog(), EventLog()
+        a.record(DeviceEvent(EventKind.KERNEL, device=0))
+        b.record(DeviceEvent(EventKind.KERNEL, device=1))
+        a.extend(b)
+        assert a.kernel_launches == 2
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceEvent(EventKind.H2D, device=0, nbytes=-1)
+        with pytest.raises(ValueError):
+            DeviceEvent(EventKind.KERNEL, device=0, work_items=-1)

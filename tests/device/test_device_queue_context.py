@@ -1,0 +1,144 @@
+"""Tests for the simulated GPU, command queues and contexts."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DeviceError
+from repro.device.context import DeviceContext
+from repro.device.device import SimulatedGPU
+from repro.device.events import EventKind
+from repro.device.kernel import KernelSpec, WorkGroupConfig
+from repro.hardware.gpu import GPUSpec
+
+
+def make_device(mem_gb=1.0):
+    return SimulatedGPU(0, GPUSpec(name="test-gpu", freq_mhz=1000, compute_units=4, mem_gb=mem_gb))
+
+
+def double_kernel():
+    return KernelSpec(name="double", func=lambda gids, x: np.asarray(x) * 2.0)
+
+
+class TestSimulatedGPU:
+    def test_requires_initialisation(self):
+        device = make_device()
+        with pytest.raises(DeviceError):
+            device.create_buffer("a", (4,))
+        device.initialise()
+        device.create_buffer("a", (4,))
+
+    def test_initialise_records_event_once(self):
+        device = make_device()
+        device.initialise()
+        device.initialise()
+        assert device.log.devices_initialised == 1
+
+    def test_memory_accounting(self):
+        device = make_device()
+        device.initialise()
+        buf = device.create_buffer("a", (1024,))
+        assert device.allocated_bytes == buf.nbytes
+        device.release_buffer("a")
+        assert device.allocated_bytes == 0
+
+    def test_out_of_memory_rejected(self):
+        device = make_device(mem_gb=0.001)
+        device.initialise()
+        with pytest.raises(DeviceError):
+            device.create_buffer("big", (10_000_000,))
+
+    def test_duplicate_buffer_name_rejected(self):
+        device = make_device()
+        device.initialise()
+        device.create_buffer("a", (4,))
+        with pytest.raises(DeviceError):
+            device.create_buffer("a", (4,))
+
+    def test_transfers_record_events(self):
+        device = make_device()
+        device.initialise()
+        device.create_buffer("a", (8,))
+        device.write_buffer("a", np.arange(8.0))
+        out = device.read_buffer("a")
+        assert np.array_equal(out, np.arange(8.0))
+        assert device.log.bytes_h2d == 64 and device.log.bytes_d2h == 64
+
+    def test_kernel_launch_functional_and_logged(self):
+        device = make_device()
+        device.initialise()
+        out = device.launch(double_kernel(), 5, {"x": np.arange(5.0)})
+        assert np.array_equal(out, np.arange(5.0) * 2)
+        assert device.log.kernel_launches == 1
+
+    def test_kernel_output_shape_checked(self):
+        device = make_device()
+        device.initialise()
+        bad = KernelSpec(name="bad", func=lambda gids, **kw: np.zeros(3))
+        with pytest.raises(DeviceError):
+            device.launch(bad, 5, {})
+
+
+class TestWorkGroupConfig:
+    def test_group_counts(self):
+        wg = WorkGroupConfig(group_size=8)
+        assert wg.n_groups(0) == 0
+        assert wg.n_groups(7) == 1
+        assert wg.n_groups(17) == 3
+
+    def test_barriers_only_when_tiled(self):
+        assert WorkGroupConfig(group_size=1).barriers(10) == 0
+        assert WorkGroupConfig(group_size=4).barriers(10) == 10
+
+    def test_invalid(self):
+        with pytest.raises(DeviceError):
+            WorkGroupConfig(group_size=0)
+        with pytest.raises(DeviceError):
+            WorkGroupConfig(group_size=2).n_groups(-1)
+
+
+class TestCommandQueueAndContext:
+    def test_queue_counts_operations(self, i7_3820):
+        with DeviceContext(i7_3820, 1) as ctx:
+            queue = ctx.queue(0)
+            ctx.device(0).create_buffer("a", (4,))
+            queue.enqueue_write("a", np.zeros(4))
+            queue.enqueue_kernel(double_kernel(), 4, {"x": np.zeros(4)})
+            queue.enqueue_read("a")
+            queue.finish()
+            assert queue.ops_enqueued == 3
+
+    def test_released_queue_rejects_operations(self, i7_3820):
+        ctx = DeviceContext(i7_3820, 1)
+        ctx.initialise()
+        queue = ctx.queue(0)
+        ctx.release()
+        with pytest.raises(DeviceError):
+            queue.finish()
+
+    def test_context_device_count_checked(self, i3):
+        with pytest.raises(DeviceError):
+            DeviceContext(i3, 2)  # the i3-540 has a single GPU
+        with pytest.raises(DeviceError):
+            DeviceContext(i3, 0)
+
+    def test_context_shares_one_log(self, i7_3820):
+        with DeviceContext(i7_3820, 2) as ctx:
+            ctx.device(0).create_buffer("a", (4,))
+            ctx.device(1).create_buffer("a", (4,))
+            ctx.queue(0).enqueue_write("a", np.zeros(4))
+            ctx.queue(1).enqueue_write("a", np.zeros(4))
+            assert ctx.log.count(EventKind.H2D) == 2
+            assert ctx.log.devices_initialised == 2
+
+    def test_context_release_frees_buffers(self, i7_3820):
+        ctx = DeviceContext(i7_3820, 1)
+        ctx.initialise()
+        ctx.device(0).create_buffer("a", (4,))
+        ctx.release()
+        assert ctx.device(0).allocated_bytes == 0
+        assert ctx.released
+
+    def test_uninitialised_queue_lookup_rejected(self, i7_3820):
+        ctx = DeviceContext(i7_3820, 1)
+        with pytest.raises(DeviceError):
+            ctx.queue(0)

@@ -1,0 +1,47 @@
+"""Tests for the calibration layer."""
+
+import pytest
+
+from repro.hardware import platforms
+from repro.hardware.calibration import (
+    BASE_CONSTANTS,
+    constants_for_system,
+    host_calibrated_constants,
+    measure_host_iter_ns,
+)
+
+
+class TestConstantsForSystem:
+    def test_known_systems_have_overrides(self):
+        i3 = constants_for_system(platforms.I3_540)
+        i7 = constants_for_system("i7-2600K")
+        tesla = constants_for_system("i7-3820")
+        assert i3.gpu_iter_penalty != BASE_CONSTANTS.gpu_iter_penalty or i3.gpu_startup_s != BASE_CONSTANTS.gpu_startup_s
+        assert i7.multi_gpu_launch_factor >= BASE_CONSTANTS.multi_gpu_launch_factor
+        assert tesla.gpu_iter_penalty < i7.gpu_iter_penalty
+
+    def test_unknown_system_gets_baseline(self):
+        custom = platforms.custom_system("lab", 2000, 8)
+        assert constants_for_system(custom) == BASE_CONSTANTS
+
+    def test_accepts_string_or_spec(self):
+        assert constants_for_system("i3-540") == constants_for_system(platforms.I3_540)
+
+
+class TestHostMeasurement:
+    def test_measure_host_iter_positive(self):
+        ns = measure_host_iter_ns(samples=1, iterations=20_000)
+        assert 0.0 < ns < 1e6
+
+    def test_measure_validates_arguments(self):
+        with pytest.raises(ValueError):
+            measure_host_iter_ns(samples=0)
+        with pytest.raises(ValueError):
+            measure_host_iter_ns(iterations=0)
+
+    def test_host_calibration_clamped(self):
+        constants = host_calibrated_constants("i7-2600K")
+        base = constants_for_system("i7-2600K")
+        assert base.cpu_iter_ns / 10 <= constants.cpu_iter_ns <= base.cpu_iter_ns * 10
+        # Only the iteration time changes; platform character is preserved.
+        assert constants.gpu_iter_penalty == base.gpu_iter_penalty

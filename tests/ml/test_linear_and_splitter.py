@@ -1,0 +1,94 @@
+"""Tests for the OLS linear model and the split-search helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidParameterError, ModelNotFittedError
+from repro.ml.tree.linear_model import LinearModel
+from repro.ml.tree.splitter import best_split
+
+
+class TestLinearModel:
+    def test_recovers_exact_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        model = LinearModel().fit(X, y, feature_names=["a", "b", "c"])
+        assert np.allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-6)
+        assert model.intercept_ == pytest.approx(4.0, abs=1e-6)
+        assert np.allclose(model.predict(X), y, atol=1e-6)
+
+    def test_single_sample_constant_model(self):
+        model = LinearModel().fit(np.array([[1.0, 2.0]]), np.array([7.0]))
+        assert model.predict(np.array([5.0, 5.0])) == pytest.approx(7.0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ModelNotFittedError):
+            LinearModel().predict(np.zeros((2, 2)))
+
+    def test_feature_count_checked(self):
+        model = LinearModel().fit(np.zeros((5, 2)), np.zeros(5))
+        with pytest.raises(InvalidParameterError):
+            model.predict(np.zeros((3, 4)))
+
+    def test_drop_small_terms_removes_irrelevant_feature(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        y = 3.0 * X[:, 0] + 1.0  # features 1 and 2 are irrelevant
+        model = LinearModel().fit(X, y)
+        model.drop_small_terms(X, y)
+        assert abs(model.coef_[0]) > 1.0
+        assert abs(model.coef_[1]) < 1e-8 and abs(model.coef_[2]) < 1e-8
+
+    def test_equation_text(self):
+        model = LinearModel().fit(np.array([[1.0], [2.0], [3.0]]), np.array([2.0, 4.0, 6.0]), ["x"])
+        eq = model.equation()
+        assert "x" in eq
+
+    def test_serialisation_roundtrip(self):
+        X, y = np.random.default_rng(2).normal(size=(20, 2)), np.arange(20.0)
+        model = LinearModel().fit(X, y, ["a", "b"])
+        clone = LinearModel.from_dict(model.to_dict())
+        assert np.allclose(clone.predict(X), model.predict(X))
+
+
+class TestBestSplit:
+    def test_finds_obvious_threshold(self):
+        X = np.array([[x] for x in range(20)], dtype=float)
+        y = np.array([0.0] * 10 + [10.0] * 10)
+        split = best_split(X, y, min_leaf=2)
+        assert split is not None
+        assert split.feature == 0
+        assert 9.0 <= split.threshold <= 10.0
+        assert split.n_left == 10 and split.n_right == 10
+
+    def test_no_split_for_constant_target(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        assert best_split(X, np.zeros(20)) is None
+
+    def test_no_split_when_too_few_samples(self):
+        X = np.arange(3, dtype=float).reshape(-1, 1)
+        assert best_split(X, np.array([0.0, 1.0, 2.0]), min_leaf=2) is None
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(3)
+        noise = rng.normal(size=50)
+        informative = np.concatenate([np.zeros(25), np.ones(25)])
+        X = np.column_stack([noise, informative])
+        y = informative * 5.0
+        split = best_split(X, y, min_leaf=3)
+        assert split.feature == 1
+
+    def test_criterion_validation(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        with pytest.raises(InvalidParameterError):
+            best_split(X, np.arange(10.0), criterion="gini")
+        with pytest.raises(InvalidParameterError):
+            best_split(X, np.arange(10.0), min_leaf=0)
+
+    def test_variance_and_sdr_agree_on_simple_case(self):
+        X = np.array([[x] for x in range(12)], dtype=float)
+        y = np.array([0.0] * 6 + [1.0] * 6)
+        s1 = best_split(X, y, criterion="sdr")
+        s2 = best_split(X, y, criterion="variance")
+        assert s1.threshold == s2.threshold

@@ -1,0 +1,95 @@
+"""Tests for the linear SVM gate and cross-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidParameterError, ModelNotFittedError
+from repro.ml.crossval import (
+    cross_val_score,
+    kfold_indices,
+    meets_accuracy_threshold,
+    train_test_split,
+)
+from repro.ml.dataset import Dataset
+from repro.ml.svm import LinearSVM
+from repro.ml.tree.reptree import REPTree
+from repro.ml.metrics import accuracy
+
+
+def separable_dataset(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0.2).astype(float)
+    return Dataset(X=X, y=y, feature_names=["f0", "f1"], target_name="label")
+
+
+class TestLinearSVM:
+    def test_separable_problem_learned(self):
+        ds = separable_dataset()
+        svm = LinearSVM(epochs=100, seed=1).fit(ds)
+        preds = svm.predict_bool(ds.X).astype(float)
+        assert accuracy(ds.y, preds) > 0.95
+
+    def test_single_class_degenerate_case(self):
+        ds = Dataset(
+            X=np.random.default_rng(0).normal(size=(10, 2)),
+            y=np.ones(10),
+            feature_names=["a", "b"],
+        )
+        svm = LinearSVM().fit(ds)
+        assert np.all(svm.predict_bool(ds.X))
+
+    def test_non_binary_targets_rejected(self):
+        ds = Dataset(X=np.zeros((4, 1)), y=np.array([0.0, 1.0, 2.0, 3.0]), feature_names=["a"])
+        with pytest.raises(InvalidParameterError):
+            LinearSVM().fit(ds)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ModelNotFittedError):
+            LinearSVM().decision_function(np.zeros(2))
+
+    def test_decision_function_single_row(self):
+        ds = separable_dataset(50)
+        svm = LinearSVM(epochs=50).fit(ds)
+        score = svm.decision_function(ds.X[0])
+        assert np.isscalar(score) or np.ndim(score) == 0
+
+    def test_serialisation_roundtrip(self):
+        ds = separable_dataset(80)
+        svm = LinearSVM(epochs=50, seed=2).fit(ds)
+        clone = LinearSVM.from_dict(svm.to_dict())
+        assert np.array_equal(clone.predict_bool(ds.X), svm.predict_bool(ds.X))
+
+
+class TestCrossValidation:
+    def test_kfold_partitions_everything(self):
+        folds = kfold_indices(23, 5, seed=1)
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+        for train, test in folds:
+            assert set(train).isdisjoint(set(test))
+
+    def test_kfold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            kfold_indices(10, 1)
+        with pytest.raises(InvalidParameterError):
+            kfold_indices(3, 5)
+
+    def test_train_test_split_sizes(self):
+        ds = separable_dataset(40)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert train.n_samples + test.n_samples == 40
+        assert test.n_samples in (10, 11)
+
+    def test_cross_val_score_high_for_learnable_problem(self):
+        ds = separable_dataset(150)
+        scores = cross_val_score(lambda: REPTree(min_leaf=2), ds, k=4, metric=accuracy, seed=0)
+        assert len(scores) == 4
+        assert np.mean(scores) > 0.85
+
+    def test_accuracy_threshold_rule(self):
+        assert meets_accuracy_threshold([0.95, 0.92, 0.99])
+        assert not meets_accuracy_threshold([0.5, 0.6])
+        with pytest.raises(InvalidParameterError):
+            meets_accuracy_threshold([])

@@ -1,0 +1,79 @@
+"""Tests for the tiled CPU-parallel executor and the tile scheduler."""
+
+import pytest
+
+from repro.core.params import TunableParams
+from repro.core.tiling import TileDecomposition
+from repro.runtime.cpu_parallel import CPUParallelExecutor
+from repro.runtime.scheduler import TileScheduler, run_schedule
+from repro.runtime.serial import SerialExecutor
+from repro.apps.synthetic import SyntheticApp
+
+
+class TestTileScheduler:
+    def test_every_tile_scheduled_once(self):
+        decomp = TileDecomposition(12, 12, 4)
+        scheduler = TileScheduler(decomp, workers=3)
+        scheduled = [item for wave in scheduler.waves() for item in wave]
+        assert len(scheduled) == decomp.n_tiles
+        assert len({(s.tile.tile_row, s.tile.tile_col) for s in scheduled}) == decomp.n_tiles
+
+    def test_workers_assigned_round_robin(self):
+        decomp = TileDecomposition(16, 16, 4)
+        scheduler = TileScheduler(decomp, workers=2)
+        loads = scheduler.worker_loads()
+        assert sum(loads) == decomp.n_tiles
+        assert max(loads) - min(loads) <= decomp.n_tile_diagonals
+
+    def test_run_schedule_sequential_and_threaded_equivalent(self):
+        decomp = TileDecomposition(10, 10, 5)
+        waves = TileScheduler(decomp, workers=4).waves()
+        seen_seq, seen_thr = [], []
+        run_schedule(waves, lambda t: seen_seq.append(t.n_cells), use_threads=False)
+        run_schedule(waves, lambda t: seen_thr.append(t.n_cells), use_threads=True, max_workers=4)
+        assert sorted(seen_seq) == sorted(seen_thr)
+        assert sum(seen_seq) == 100
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(Exception):
+            TileScheduler(TileDecomposition(4, 4, 2), workers=0)
+
+
+class TestCPUParallelExecutor:
+    @pytest.mark.parametrize("cpu_tile", [1, 3, 4, 8, 50])
+    def test_matches_serial_for_any_tile_size(self, i7_2600k, cpu_tile):
+        problem = SyntheticApp(dim=21, tsize=50, dsize=1).problem()
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        parallel = CPUParallelExecutor(i7_2600k).execute(
+            problem, TunableParams(cpu_tile=cpu_tile)
+        )
+        assert serial.matches(parallel)
+
+    def test_threaded_execution_matches_serial(self, i7_2600k):
+        problem = SyntheticApp(dim=20, tsize=50, dsize=1).problem()
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        threaded = CPUParallelExecutor(i7_2600k, use_threads=True).execute(
+            problem, TunableParams(cpu_tile=4)
+        )
+        assert serial.matches(threaded)
+
+    def test_stats_report_tiles_and_workers(self, i7_2600k):
+        problem = SyntheticApp(dim=16, tsize=50, dsize=1).problem()
+        result = CPUParallelExecutor(i7_2600k).execute(problem, TunableParams(cpu_tile=4))
+        assert result.stats["tiles_executed"] == 16
+        assert result.stats["workers"] == i7_2600k.cpu.workers
+
+    def test_gpu_settings_dropped(self, i7_2600k):
+        problem = SyntheticApp(dim=16, tsize=50, dsize=1).problem()
+        result = CPUParallelExecutor(i7_2600k).execute(
+            problem, TunableParams.from_encoding(4, 10, 2, 8)
+        )
+        assert result.tunables.is_cpu_only and result.tunables.cpu_tile == 4
+
+    def test_simulated_rtime_faster_than_serial(self, any_system):
+        problem = SyntheticApp(dim=1100, tsize=500, dsize=1).problem()
+        serial = SerialExecutor(any_system).execute(problem, mode="simulate")
+        parallel = CPUParallelExecutor(any_system).execute(
+            problem, TunableParams(cpu_tile=8), mode="simulate"
+        )
+        assert parallel.rtime < serial.rtime

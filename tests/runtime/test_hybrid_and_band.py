@@ -1,0 +1,157 @@
+"""Correctness tests for the hybrid three-phase executor and the GPU band.
+
+The central invariant of the whole reproduction: for EVERY configuration of
+the tunable parameters, the hybrid execution produces exactly the same grid
+as the serial sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import TunableParams
+from repro.core.plan import ThreePhasePlan
+from repro.device.context import DeviceContext
+from repro.runtime.band import BandRunner
+from repro.runtime.executor_base import ExecutionMode
+from repro.runtime.gpu_multi import MultiGPUBandExecutor
+from repro.runtime.gpu_single import SingleGPUBandExecutor
+from repro.runtime.hybrid import HybridExecutor
+from repro.runtime.serial import SerialExecutor
+from repro.apps.nash import NashEquilibriumApp
+from repro.apps.sequence import SequenceComparisonApp
+from repro.apps.synthetic import SyntheticApp
+
+
+CONFIGS = [
+    TunableParams(cpu_tile=4),                                   # all CPU
+    TunableParams.from_encoding(2, 0, -1, 1),                    # single diagonal on GPU
+    TunableParams.from_encoding(4, 8, -1, 1),                    # single GPU, partial band
+    TunableParams.from_encoding(4, 8, -1, 8),                    # single GPU, tiled
+    TunableParams.from_encoding(1, 31, -1, 1),                   # single GPU, full band
+    TunableParams.from_encoding(8, 10, 0, 1),                    # dual GPU, halo 0
+    TunableParams.from_encoding(2, 10, 3, 1),                    # dual GPU, small halo
+    TunableParams.from_encoding(2, 31, 0, 4),                    # dual GPU, full band, tiled
+    TunableParams.from_encoding(4, 14, 7, 1),                    # dual GPU, large halo
+]
+
+
+class TestHybridCorrectness:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_hybrid_matches_serial_synthetic(self, i7_2600k, config):
+        problem = SyntheticApp(dim=32, tsize=100, dsize=1).problem()
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        hybrid = HybridExecutor(i7_2600k).execute(problem, config)
+        assert serial.matches(hybrid), f"mismatch for {config.describe()}"
+
+    @pytest.mark.parametrize("app_factory", [
+        lambda: NashEquilibriumApp(dim=26),
+        lambda: SequenceComparisonApp(dim=27, seed=1),
+        lambda: SyntheticApp(dim=25, tsize=10, dsize=5),
+    ], ids=["nash", "smith-waterman", "synthetic-d5"])
+    def test_hybrid_matches_serial_real_apps(self, i7_3820, app_factory):
+        problem = app_factory().problem()
+        serial = SerialExecutor(i7_3820).execute(problem)
+        for config in (CONFIGS[2], CONFIGS[5], CONFIGS[7]):
+            hybrid = HybridExecutor(i7_3820).execute(problem, config)
+            assert serial.matches(hybrid), config.describe()
+
+    def test_single_gpu_system_runs_single_gpu_configs(self, i3):
+        problem = SyntheticApp(dim=24, tsize=100, dsize=1).problem()
+        serial = SerialExecutor(i3).execute(problem)
+        hybrid = HybridExecutor(i3).execute(problem, TunableParams.from_encoding(4, 10, -1, 1))
+        assert serial.matches(hybrid)
+
+    def test_dual_gpu_config_rejected_on_single_gpu_system(self, i3):
+        problem = SyntheticApp(dim=24, tsize=100, dsize=1).problem()
+        with pytest.raises(Exception):
+            HybridExecutor(i3).execute(problem, TunableParams.from_encoding(4, 10, 2, 1))
+
+    def test_functional_and_simulate_report_same_rtime(self, i7_2600k):
+        problem = SyntheticApp(dim=28, tsize=200, dsize=1).problem()
+        executor = HybridExecutor(i7_2600k)
+        config = TunableParams.from_encoding(4, 9, 2, 1)
+        functional = executor.execute(problem, config, mode=ExecutionMode.FUNCTIONAL)
+        simulated = executor.execute(problem, config, mode=ExecutionMode.SIMULATE)
+        assert functional.rtime == pytest.approx(simulated.rtime)
+
+    def test_breakdown_components_positive_for_gpu_config(self, i7_2600k):
+        problem = SyntheticApp(dim=28, tsize=200, dsize=1).problem()
+        result = HybridExecutor(i7_2600k).execute(
+            problem, TunableParams.from_encoding(4, 9, -1, 1), mode="simulate"
+        )
+        b = result.breakdown
+        assert b.pre_s > 0 and b.post_s > 0 and b.gpu_compute_s > 0 and b.startup_s > 0
+
+
+class TestBandRunnerOperations:
+    def make_band(self, system, dim=30, band=10, halo=2, gpu_count=2, gpu_tile=1, tsize=100):
+        problem = SyntheticApp(dim=dim, tsize=tsize, dsize=1).problem()
+        halo_enc = halo if gpu_count == 2 else -1
+        tunables = TunableParams.from_encoding(4, band, halo_enc, gpu_tile).clipped(dim)
+        plan = ThreePhasePlan(problem.input_params(), tunables)
+        grid = problem.make_grid()
+        # Compute the CPU prefix so the band has its boundary data.
+        serial_grid = SerialExecutor(system).execute(problem).grid
+        for d in range(0, plan.gpu.lo):
+            grid.set_diagonal(d, serial_grid.get_diagonal(d))
+        return problem, grid, plan, tunables, serial_grid
+
+    def test_kernel_launch_count_untiled(self, i7_2600k):
+        problem, grid, plan, tunables, _ = self.make_band(i7_2600k)
+        with DeviceContext(i7_2600k, tunables.gpu_count) as ctx:
+            stats = BandRunner(problem, grid, plan, tunables, ctx).run()
+            # One launch per diagonal per device when gpu_tile == 1.
+            assert stats["kernel_launches"] == stats["band_diagonals"] * tunables.gpu_count
+            assert ctx.log.kernel_launches == stats["kernel_launches"]
+
+    def test_halo_swaps_counted_and_bounded(self, i7_2600k):
+        problem, grid, plan, tunables, _ = self.make_band(i7_2600k, halo=2)
+        with DeviceContext(i7_2600k, 2) as ctx:
+            stats = BandRunner(problem, grid, plan, tunables, ctx).run()
+        n_diags = stats["band_diagonals"]
+        assert 0 < stats["halo_swaps"] <= n_diags
+        # Larger halo => no more swaps than a zero halo needs.
+        problem, grid, plan, tunables, _ = self.make_band(i7_2600k, halo=0)
+        with DeviceContext(i7_2600k, 2) as ctx:
+            stats_zero = BandRunner(problem, grid, plan, tunables, ctx).run()
+        assert stats["halo_swaps"] <= stats_zero["halo_swaps"]
+
+    def test_redundant_cells_grow_with_halo(self, i7_2600k):
+        baseline = None
+        for halo in (0, 3):
+            problem, grid, plan, tunables, _ = self.make_band(i7_2600k, halo=halo)
+            with DeviceContext(i7_2600k, 2) as ctx:
+                stats = BandRunner(problem, grid, plan, tunables, ctx).run()
+            if baseline is None:
+                baseline = stats["redundant_cells"]
+            else:
+                assert stats["redundant_cells"] > baseline
+
+    def test_band_results_written_back_correctly(self, i7_2600k):
+        problem, grid, plan, tunables, serial_grid = self.make_band(i7_2600k, halo=1)
+        with DeviceContext(i7_2600k, 2) as ctx:
+            BandRunner(problem, grid, plan, tunables, ctx).run()
+        for d in range(plan.gpu.lo, plan.gpu.hi + 1):
+            assert np.allclose(grid.get_diagonal(d), serial_grid.get_diagonal(d))
+
+    def test_transfers_recorded(self, i7_2600k):
+        problem, grid, plan, tunables, _ = self.make_band(i7_2600k, halo=2)
+        with DeviceContext(i7_2600k, 2) as ctx:
+            BandRunner(problem, grid, plan, tunables, ctx).run()
+            assert ctx.log.bytes_h2d > 0 and ctx.log.bytes_d2h > 0
+
+
+class TestGPUOnlyExecutors:
+    def test_single_gpu_whole_grid(self, i3):
+        problem = SyntheticApp(dim=20, tsize=100, dsize=1).problem()
+        serial = SerialExecutor(i3).execute(problem)
+        gpu = SingleGPUBandExecutor(i3).execute(problem)
+        assert serial.matches(gpu)
+        assert gpu.tunables.band == 19 and gpu.tunables.gpu_count == 1
+
+    def test_multi_gpu_whole_grid(self, i7_3820):
+        problem = SyntheticApp(dim=20, tsize=100, dsize=1).problem()
+        serial = SerialExecutor(i7_3820).execute(problem)
+        gpu = MultiGPUBandExecutor(i7_3820, halo=2).execute(problem)
+        assert serial.matches(gpu)
+        assert gpu.tunables.gpu_count == 2

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_systems_command_parses(self):
+        args = build_parser().parse_args(["systems"])
+        assert args.command == "systems"
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.system == "i7-2600K" and args.app == "synthetic" and args.dim == 1900
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--system", "cray-1"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_systems_lists_all_three(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("i3-540", "i7-2600K", "i7-3820"):
+            assert name in out
+
+    def test_sweep_tiny_prints_heatmap(self, capsys):
+        assert main(["sweep", "--system", "i3-540", "--space", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5 heatmap" in out and "band" in out
+
+    def test_tune_tiny_prints_configuration(self, capsys, tmp_path):
+        model_path = tmp_path / "model.json"
+        code = main(
+            [
+                "tune",
+                "--system",
+                "i3-540",
+                "--space",
+                "tiny",
+                "--app",
+                "synthetic",
+                "--dim",
+                "256",
+                "--tsize",
+                "500",
+                "--save-model",
+                str(model_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tuned configuration" in out and "speedup" in out
+        assert model_path.exists()
+
+        # Reload the saved model instead of retraining.
+        code = main(
+            [
+                "tune",
+                "--system",
+                "i3-540",
+                "--space",
+                "tiny",
+                "--app",
+                "nash-equilibrium",
+                "--dim",
+                "512",
+                "--load-model",
+                str(model_path),
+            ]
+        )
+        assert code == 0
+        assert "loaded trained models" in capsys.readouterr().out
