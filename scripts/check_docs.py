@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Docs coverage check: every public class in ``repro.apps`` and
+``repro.runtime`` must be mentioned in ``docs/architecture.md``.
+
+Run from the repository root (CI does) or anywhere inside it:
+
+    python scripts/check_docs.py
+
+Exits non-zero listing the undocumented classes, so adding an application
+or executor without documenting it fails the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "architecture.md"
+PACKAGES = ("apps", "runtime")
+
+
+def public_classes(package: str) -> dict[str, str]:
+    """Map of public class name -> defining file for one repro subpackage."""
+    classes: dict[str, str] = {}
+    for path in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                classes[node.name] = f"src/repro/{package}/{path.name}"
+    return classes
+
+
+def main() -> int:
+    doc = DOC_PATH.read_text(encoding="utf-8")
+    missing: list[tuple[str, str]] = []
+    total = 0
+    for package in PACKAGES:
+        for name, origin in public_classes(package).items():
+            total += 1
+            if name not in doc:
+                missing.append((name, origin))
+    if missing:
+        print(f"{DOC_PATH.relative_to(REPO_ROOT)} is missing {len(missing)} public classes:")
+        for name, origin in missing:
+            print(f"  - {name}  ({origin})")
+        return 1
+    print(f"docs check OK: all {total} public apps/runtime classes documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Module entry point so ``python -m repro`` behaves like ``repro-tune``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,18 @@
 * :class:`repro.apps.sequence.SequenceComparisonApp` — Smith-Waterman
   biological sequence comparison, the fine-grained evaluation application;
 * :class:`repro.apps.knapsack.KnapsackApp` — the 0/1 knapsack dynamic
-  program mentioned as future work (Section 6), included as an extension.
+  program mentioned as future work (Section 6), included as an extension;
+* :class:`repro.apps.editdistance.EditDistanceApp` — Needleman-Wunsch global
+  alignment / edit distance, a second alignment-shaped recurrence;
+* :class:`repro.apps.lcs.LCSApp` — longest common subsequence, the textbook
+  zero-boundary wavefront DP;
+* :class:`repro.apps.matrixchain.MatrixChainApp` — edge-split matrix-chain
+  ordering, interval DP re-oriented onto the wavefront.
+
+All applications register themselves in :mod:`repro.apps.registry`; every
+kernel is expressible both per-cell (:meth:`WavefrontKernel.cell`) and
+diagonal-vectorized (:meth:`WavefrontKernel.diagonal`, optionally fused via
+:meth:`WavefrontKernel.make_diagonal_evaluator`).
 """
 
 from repro.apps.base import WavefrontApplication
@@ -15,6 +26,9 @@ from repro.apps.synthetic import SyntheticApp, SyntheticKernel
 from repro.apps.nash import NashEquilibriumApp, NashKernel
 from repro.apps.sequence import SequenceComparisonApp, SmithWatermanKernel, random_dna
 from repro.apps.knapsack import KnapsackApp, KnapsackKernel
+from repro.apps.editdistance import EditDistanceApp, EditDistanceKernel
+from repro.apps.lcs import LCSApp, LCSKernel
+from repro.apps.matrixchain import MatrixChainApp, MatrixChainKernel
 from repro.apps.registry import APPLICATIONS, get_application
 
 __all__ = [
@@ -28,6 +42,12 @@ __all__ = [
     "random_dna",
     "KnapsackApp",
     "KnapsackKernel",
+    "EditDistanceApp",
+    "EditDistanceKernel",
+    "LCSApp",
+    "LCSKernel",
+    "MatrixChainApp",
+    "MatrixChainKernel",
     "APPLICATIONS",
     "get_application",
 ]

@@ -52,6 +52,23 @@ class KnapsackKernel(WavefrontKernel):
         skip = north
         return np.maximum(take, skip)
 
+    def make_diagonal_evaluator(self, dim, boundary):
+        """Fused sweep path: row-tiled item values, two in-place ufuncs.
+
+        The only ``j``-dependence of the recurrence is the ``j == 0`` column,
+        which along one anti-diagonal is at most its last element (and only
+        on the growing half of the sweep), so it is patched as one scalar.
+        """
+        row_values = self.values[np.arange(dim, dtype=np.int64) % self.values.size]
+
+        def evaluate(d, i_min, i_max, west, north, northwest, out):
+            np.add(northwest, row_values[i_min : i_max + 1], out=out)
+            if i_max == d:  # last element sits in column j == 0
+                out[i_max - i_min] = 0.0
+            np.maximum(out, north, out=out)
+
+        return evaluate
+
     def optimum(self, capacity: int, n_items: int | None = None) -> float:
         """Reference optimum computed directly (greedy on the best values).
 

@@ -5,7 +5,10 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.apps.base import WavefrontApplication
+from repro.apps.editdistance import EditDistanceApp
 from repro.apps.knapsack import KnapsackApp
+from repro.apps.lcs import LCSApp
+from repro.apps.matrixchain import MatrixChainApp
 from repro.apps.nash import NashEquilibriumApp
 from repro.apps.sequence import SequenceComparisonApp
 from repro.apps.synthetic import SyntheticApp
@@ -16,6 +19,9 @@ APPLICATIONS: dict[str, Callable[[], WavefrontApplication]] = {
     "nash-equilibrium": NashEquilibriumApp,
     "sequence-comparison": SequenceComparisonApp,
     "knapsack": KnapsackApp,
+    "edit-distance": EditDistanceApp,
+    "lcs": LCSApp,
+    "matrix-chain": MatrixChainApp,
 }
 
 

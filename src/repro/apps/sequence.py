@@ -104,6 +104,38 @@ class SmithWatermanKernel(WavefrontKernel):
         )
         return np.max(candidates, axis=0)
 
+    def make_diagonal_evaluator(self, dim, boundary):
+        """Fused sweep path: one precomputed ``dim x dim`` substitution grid.
+
+        Diagonals of the substitution grid are zero-copy strided slices, so
+        each anti-diagonal of the recurrence reduces to six in-place ufuncs
+        (an add and three maxima) with a single scratch vector.
+        """
+        from repro.core import diagonal as dg
+
+        idx = np.arange(dim, dtype=np.int64)
+        sub = np.where(
+            self.seq_a[idx % self.seq_a.size][:, None]
+            == self.seq_b[idx % self.seq_b.size][None, :],
+            self.match,
+            self.mismatch,
+        )
+        sub_flat = sub.reshape(-1)
+        gap = self.gap
+        scratch = np.empty(dim)
+
+        def evaluate(d, i_min, i_max, west, north, northwest, out):
+            m = i_max - i_min + 1
+            t = scratch[:m]
+            np.add(northwest, sub_flat[dg.flat_diagonal_slice(d, dim)], out=out)
+            np.maximum(out, 0.0, out=out)
+            np.subtract(north, gap, out=t)
+            np.maximum(out, t, out=out)
+            np.subtract(west, gap, out=t)
+            np.maximum(out, t, out=out)
+
+        return evaluate
+
 
 class SequenceComparisonApp(WavefrontApplication):
     """The biological sequence comparison evaluation application."""

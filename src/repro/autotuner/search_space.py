@@ -4,6 +4,12 @@ Couples a :class:`repro.core.parameter_space.ParameterSpace` (what the paper
 sweeps, Table 3) with a :class:`repro.hardware.system.SystemSpec` (what the
 platform can actually run — e.g. the i3-540 has one GPU, so the halo
 dimension collapses).
+
+Beyond the paper's five tunables the space carries an *engine* dimension:
+which single-core backend (scalar ``serial`` or batched ``vectorized``) the
+CPU phases run on.  Engine choice does not interact with band / halo — the
+best engine is decided per instance by direct cost-model comparison
+(:meth:`SearchSpace.best_engine`) instead of multiplying the swept grid.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Iterator
 
 from repro.core.parameter_space import ParameterSpace
 from repro.core.params import InputParams, TunableParams
+from repro.hardware.costmodel import CostModel
 from repro.hardware.system import SystemSpec
 
 
@@ -27,6 +34,22 @@ class SearchSpace:
     def max_gpus(self) -> int:
         """GPUs the tuner may use on this system (the paper caps this at 2)."""
         return self.system.max_usable_gpus
+
+    @property
+    def engines(self) -> tuple[str, ...]:
+        """Serial-engine backends available for the CPU phases.
+
+        ``("vectorized", "serial")`` when NumPy is importable, otherwise just
+        ``("serial",)`` — the engine dimension of the search space.
+        """
+        from repro.runtime.registry import available_serial_engines
+
+        return tuple(available_serial_engines())
+
+    def best_engine(self, instance: InputParams, cost_model: CostModel | None = None) -> str:
+        """Cheapest available engine for ``instance`` under the cost model."""
+        model = cost_model if cost_model is not None else CostModel(self.system)
+        return min(self.engines, key=lambda e: model.engine_time(e, instance))
 
     def instances(self) -> Iterator[InputParams]:
         """All (dim, tsize, dsize) instances of the space."""
@@ -56,5 +79,6 @@ class SearchSpace:
         info = self.space.describe()
         info["system"] = self.system.name
         info["max_gpus"] = self.max_gpus
+        info["engines"] = list(self.engines)
         info["size_estimate"] = self.size_estimate()
         return info

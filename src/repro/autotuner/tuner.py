@@ -114,6 +114,22 @@ class AutoTuner:
         params = self._as_input_params(target)
         return self.model.predict(params.features())
 
+    def select_engine(self, target) -> str:
+        """Pick the CPU-phase backend (the search space's engine dimension).
+
+        Unlike band / halo this is not learned: the scalar-vs-vectorized
+        trade-off is a direct cost-model comparison per instance, so the
+        tuner resolves it analytically (``vectorized`` wins whenever its
+        per-diagonal batch overhead is amortised, i.e. on all but degenerate
+        instances — and it is only offered when NumPy is available).
+        """
+        params = self._as_input_params(target)
+        return self.search.search_space.best_engine(params, self.cost_model)
+
+    def tune_with_engine(self, target) -> tuple[TunableParams, str]:
+        """Tuned parameters plus the selected CPU-phase engine backend."""
+        return self.tune(target), self.select_engine(target)
+
     def predicted_rtime(self, target, tunables: TunableParams | None = None) -> float:
         """Cost-model runtime of the tuned (or given) configuration."""
         params = self._as_input_params(target)
@@ -193,6 +209,6 @@ def autotune_and_run(
             tuner = AutoTuner.quick(system)
             if use_cache:
                 _TUNER_CACHE[system.name] = tuner
-    tunables = tuner.tune(problem)
-    executor = HybridExecutor(system, tuner.constants)
+    tunables, engine = tuner.tune_with_engine(problem)
+    executor = HybridExecutor(system, tuner.constants, cpu_engine=engine)
     return executor.execute(problem, tunables, mode=mode)

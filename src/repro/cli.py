@@ -1,22 +1,29 @@
 """Command-line interface to the autotuning framework.
 
-Three subcommands cover the deployment workflow of the paper:
+Four subcommands cover the deployment workflow of the paper plus the
+reproduction's own benchmarking:
 
 * ``repro-tune systems`` — list the built-in Table 4 platforms;
 * ``repro-tune sweep --system i7-2600K`` — run the exhaustive sweep of the
   synthetic application and print the Figure 5 band heatmap;
 * ``repro-tune tune --system i7-3820 --app nash-equilibrium --dim 1900`` —
   train the autotuner and print the tuned parameter settings (optionally
-  saving/loading the trained model so training happens only once).
+  saving/loading the trained model so training happens only once);
+* ``repro-tune bench --dim 512`` — functionally execute every registered
+  executor x application pair, print the wall-clock speedup table and write
+  the raw measurements as JSON under ``benchmarks/results/``.
 
-The CLI is intentionally thin: it only wires command-line arguments to the
-public library API, so everything it does can also be done programmatically.
+The same interface is available as ``python -m repro``.  The CLI is
+intentionally thin: it only wires command-line arguments to the public
+library API, so everything it does can also be done programmatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis.heatmap import build_heatmap
@@ -26,8 +33,13 @@ from repro.autotuner.exhaustive import ExhaustiveSearch
 from repro.autotuner.persistence import load_tuner, save_tuner
 from repro.autotuner.tuner import AutoTuner
 from repro.core.parameter_space import ParameterSpace
+from repro.core.params import TunableParams
 from repro.hardware import platforms
 from repro.utils.logging import configure_logging
+from repro.version import __version__
+
+#: Default location of the bench JSON output, relative to the working dir.
+DEFAULT_BENCH_DIR = Path("benchmarks") / "results"
 
 
 def _space(name: str) -> ParameterSpace:
@@ -48,18 +60,50 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-tune",
         description="Autotune wavefront applications for CPU + multi-GPU systems "
         "(reproduction of Mohanty & Cole, PMAM 2014).",
+        epilog="Run 'repro-tune <command> --help' for per-command usage examples.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument("--verbose", action="store_true", help="enable debug logging")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("systems", help="list the built-in Table 4 systems")
+    sub.add_parser(
+        "systems",
+        help="list the built-in Table 4 systems",
+        description="List the three Table 4 platforms with their CPU, GPU and "
+        "interconnect characteristics.",
+        epilog="example:\n  repro-tune systems",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
 
-    sweep = sub.add_parser("sweep", help="exhaustive sweep of the synthetic application")
+    sweep = sub.add_parser(
+        "sweep",
+        help="exhaustive sweep of the synthetic application",
+        description="Run the exhaustive (simulate-mode) sweep of the synthetic "
+        "application on one platform and print the Figure 5 band/halo heatmaps.",
+        epilog="examples:\n"
+        "  repro-tune sweep --system i7-2600K\n"
+        "  repro-tune sweep --system i7-3820 --space paper --dsize 5",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     sweep.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
     sweep.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
     sweep.add_argument("--dsize", type=int, default=1, help="element payload size slice to report")
 
-    tune = sub.add_parser("tune", help="train (or load) the tuner and tune one application instance")
+    tune = sub.add_parser(
+        "tune",
+        help="train (or load) the tuner and tune one application instance",
+        description="Train the M5P-based autotuner on the synthetic sweep (or "
+        "load a previously saved model), then predict tuned parameters for one "
+        "application instance and report the expected speedup.",
+        epilog="examples:\n"
+        "  repro-tune tune --system i7-3820 --app nash-equilibrium --dim 1900\n"
+        "  repro-tune tune --system i7-2600K --app synthetic --tsize 750 --dsize 4\n"
+        "  repro-tune tune --save-model model.json   # train once, reuse later\n"
+        "  repro-tune tune --load-model model.json --app lcs --dim 2700",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     tune.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
     tune.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
     tune.add_argument("--app", default="synthetic", choices=available_applications())
@@ -68,6 +112,38 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--dsize", type=int, default=None, help="override the app's data granularity (synthetic only)")
     tune.add_argument("--save-model", type=Path, default=None, help="save the trained models as JSON")
     tune.add_argument("--load-model", type=Path, default=None, help="load previously trained models instead of training")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time every executor x application pair (functional mode)",
+        description="Functionally execute every registered executor on every "
+        "registered application, verify each grid against the serial reference, "
+        "print the wall-clock speedup table and write the raw timings as JSON.",
+        epilog="examples:\n"
+        "  repro-tune bench --dim 512\n"
+        "  repro-tune bench --dim 256 --apps synthetic,lcs --executors serial,vectorized\n"
+        "  repro-tune bench --dim 512 --repeats 5 --out benchmarks/results/engine_bench.json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    bench.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
+    bench.add_argument("--dim", type=int, default=256, help="grid side length for every pair")
+    bench.add_argument(
+        "--apps",
+        default="all",
+        help="comma-separated application names, or 'all' (default)",
+    )
+    bench.add_argument(
+        "--executors",
+        default="all",
+        help="comma-separated executor names, or 'all' (default)",
+    )
+    bench.add_argument("--repeats", type=int, default=3, help="timed repetitions per pair (best is kept)")
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"JSON output path (default: {DEFAULT_BENCH_DIR}/bench_<system>_<dim>.json)",
+    )
     return parser
 
 
@@ -116,11 +192,136 @@ def cmd_tune(args: argparse.Namespace) -> int:
     problem = app.problem(args.dim)
     params = problem.input_params()
     config = tuner.tune(params)
+    engine = tuner.select_engine(params)
     print(f"\napplication: {problem.name}  (dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})")
-    print(f"tuned configuration: {config.describe()}")
+    print(f"tuned configuration: {config.describe()}  [cpu engine: {engine}]")
     rtime = tuner.predicted_rtime(params, config)
     serial = tuner.cost_model.baseline_serial(params)
     print(f"predicted runtime: {rtime:.3f}s  (serial baseline {serial:.3f}s, {serial / rtime:.1f}x speedup)")
+    return 0
+
+
+def _bench_tunables(executor: str, dim: int, max_gpus: int) -> TunableParams | None:
+    """Default configuration each executor is benchmarked under.
+
+    Returns ``None`` when the executor cannot run on the system (e.g. the
+    dual-GPU band executor on a single-GPU platform).
+    """
+    if executor in ("serial", "vectorized"):
+        return TunableParams()
+    if executor == "cpu-parallel":
+        return TunableParams(cpu_tile=8)
+    if executor == "gpu-only-single":
+        if max_gpus < 1:
+            return None
+        return TunableParams.from_encoding(cpu_tile=1, band=dim - 1, halo=-1, gpu_tile=8)
+    if executor == "gpu-only-multi":
+        if max_gpus < 2:
+            return None
+        return TunableParams.from_encoding(cpu_tile=1, band=dim - 1, halo=0, gpu_tile=8)
+    if executor == "hybrid":
+        if max_gpus < 1:
+            return TunableParams(cpu_tile=8)
+        return TunableParams.from_encoding(cpu_tile=8, band=dim // 3, halo=-1, gpu_tile=8)
+    return TunableParams()
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Imported here so `repro-tune --help` stays snappy.
+    from repro.runtime.registry import available_executors, get_executor
+
+    system = platforms.get_system(args.system)
+    app_names = (
+        available_applications() if args.apps == "all" else args.apps.split(",")
+    )
+    executor_names = (
+        available_executors() if args.executors == "all" else args.executors.split(",")
+    )
+    if args.repeats < 1:
+        raise SystemExit("--repeats must be >= 1")
+    unknown = set(app_names) - set(available_applications())
+    if unknown:
+        raise SystemExit(f"unknown applications: {sorted(unknown)}")
+    unknown = set(executor_names) - set(available_executors())
+    if unknown:
+        raise SystemExit(f"unknown executors: {sorted(unknown)}")
+    if "serial" in executor_names:
+        # The serial reference must run first so every later executor can be
+        # verified against its grid and reported as a speedup over it.
+        executor_names = ["serial"] + [n for n in executor_names if n != "serial"]
+
+    records = []
+    print(
+        f"bench: {len(app_names)} applications x {len(executor_names)} executors, "
+        f"dim={args.dim}, system={system.name}, repeats={args.repeats}\n"
+    )
+    header = f"{'application':<20} {'executor':<18} {'best wall [s]':>13} {'vs serial':>10}  ok"
+    print(header)
+    print("-" * len(header))
+    for app_name in app_names:
+        app = get_application(app_name, dim=args.dim)
+        problem = app.problem(args.dim)
+        reference = None
+        serial_best = None
+        for executor_name in executor_names:
+            tunables = _bench_tunables(executor_name, args.dim, system.max_usable_gpus)
+            if tunables is None:
+                continue
+            executor = get_executor(executor_name, system)
+            walls = []
+            result = None
+            for _ in range(args.repeats):
+                t0 = time.perf_counter()
+                result = executor.execute(problem, tunables, mode="functional")
+                walls.append(time.perf_counter() - t0)
+            best = min(walls)
+            if executor_name == "serial":
+                reference = result.grid
+                serial_best = best
+            matches = bool(reference.allclose(result.grid)) if reference is not None else None
+            speedup = serial_best / best if serial_best else None
+            records.append(
+                {
+                    "application": app_name,
+                    "executor": executor_name,
+                    "dim": args.dim,
+                    "wall_s_best": best,
+                    "wall_s_all": walls,
+                    "rtime_s": result.rtime,
+                    "cells": problem.input_params().cells,
+                    "speedup_vs_serial": speedup,
+                    "matches_serial": matches,
+                }
+            )
+            speedup_text = f"{speedup:9.2f}x" if speedup else f"{'n/a':>10}"
+            ok_text = {True: "yes", False: "NO", None: "-"}[matches]
+            print(
+                f"{app_name:<20} {executor_name:<18} {best:13.6f} {speedup_text}  {ok_text}"
+            )
+    mismatches = [r for r in records if r["matches_serial"] is False]
+
+    out = args.out
+    if out is None:
+        out = DEFAULT_BENCH_DIR / f"bench_{system.name}_{args.dim}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "meta": {
+            "system": system.name,
+            "dim": args.dim,
+            "repeats": args.repeats,
+            "python": sys.version.split()[0],
+            "executors": executor_names,
+            "applications": app_names,
+            "note": "wall-clock functional execution; serial is the reference "
+            "implementation every other grid is verified against",
+        },
+        "results": records,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {len(records)} measurements to {out}")
+    if mismatches:
+        print(f"ERROR: {len(mismatches)} executor results did not match the serial reference")
+        return 1
     return 0
 
 
@@ -134,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sweep(args)
     if args.command == "tune":
         return cmd_tune(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

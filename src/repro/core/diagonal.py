@@ -61,6 +61,38 @@ def diagonal_cells(d: int, rows: int, cols: int) -> np.ndarray:
     return np.stack([i, d - i], axis=1)
 
 
+def diagonal_index_arrays(d: int, rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``(i, j)`` index arrays of diagonal ``d`` in canonical order.
+
+    Equivalent to splitting :func:`diagonal_cells` into its columns but
+    without materialising the stacked ``(n, 2)`` array — the whole-diagonal
+    index form that kernels' ``diagonal()`` methods consume (the vectorized
+    engine inlines the same arithmetic on its hot path).
+    """
+    i_min, i_max = diagonal_bounds(d, rows, cols)
+    i = np.arange(i_min, i_max + 1)
+    return i, d - i
+
+
+def flat_diagonal_slice(d: int, dim: int) -> slice:
+    """Strided slice addressing diagonal ``d`` in the flattened square grid.
+
+    In a row-major ``dim x dim`` array the cell ``(i, d - i)`` sits at flat
+    index ``d + i * (dim - 1)``, so one anti-diagonal is an arithmetic
+    sequence with stride ``dim - 1``: ``values.reshape(-1)[flat_diagonal_slice(d, dim)]``
+    is a zero-copy *view* of the diagonal in canonical (increasing-row)
+    order.  This is what lets the vectorized engine read and write whole
+    diagonals without fancy indexing.
+    """
+    if dim < 2:
+        raise InvalidParameterError(f"dim must be >= 2, got {dim}")
+    i_min, i_max = diagonal_bounds(d, dim, dim)
+    stride = dim - 1
+    start = i_min * dim + (d - i_min)
+    stop = i_max * dim + (d - i_max) + 1
+    return slice(start, stop, stride)
+
+
 def cells_before_diagonal(d: int, dim: int) -> int:
     """Number of cells strictly before diagonal ``d`` in a square grid.
 

@@ -66,6 +66,17 @@ class WavefrontGrid:
     # ------------------------------------------------------------------
     # Diagonal-major access
     # ------------------------------------------------------------------
+    def diagonal_view(self, d: int) -> np.ndarray:
+        """Zero-copy strided view of the values on diagonal ``d``.
+
+        Writing through the view writes straight into :attr:`values` — the
+        same strided-slice arithmetic the vectorized engine inlines on its
+        hot path (:class:`repro.runtime.vectorized.DiagonalSweepEngine`),
+        exposed here for other layers, tooling and tests; no fancy indexing
+        as in :meth:`get_diagonal` / :meth:`set_diagonal`.
+        """
+        return self.values.reshape(-1)[dg.flat_diagonal_slice(d, self.dim)]
+
     def get_diagonal(self, d: int) -> np.ndarray:
         """Copy of the values on diagonal ``d`` (ordered by increasing row)."""
         i, j = self.diagonal_indices(d)

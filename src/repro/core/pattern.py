@@ -19,6 +19,10 @@ from repro.core.exceptions import InvalidParameterError, KernelError
 from repro.core.grid import WavefrontGrid
 from repro.core.params import InputParams
 
+#: Signature of a fused diagonal evaluator:
+#: ``evaluate(d, i_min, i_max, west, north, northwest, out) -> None``.
+DiagonalEvaluator = Callable[[int, int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]
+
 
 class WavefrontKernel(abc.ABC):
     """The per-element recurrence of a wavefront application.
@@ -66,6 +70,24 @@ class WavefrontKernel(abc.ABC):
             np.array([northwest], dtype=float),
         )
         return float(out[0])
+
+    def make_diagonal_evaluator(self, dim: int, boundary: float) -> "DiagonalEvaluator | None":
+        """Optional fused fast path used by the vectorized engine.
+
+        A kernel may return a callable ``evaluate(d, i_min, i_max, west,
+        north, northwest, out)`` that writes the values of rows
+        ``i_min .. i_max`` of diagonal ``d`` into the 1-D array ``out``
+        (length ``i_max - i_min + 1``), given read-only neighbour views of
+        the same length.  The evaluator is built once per sweep, so it can
+        precompute position-dependent tables (substitution scores, payoff
+        preferences, ...) and use in-place ufuncs; it must produce results
+        numerically identical to :meth:`diagonal`.
+
+        The default returns ``None``, meaning the engine falls back to
+        :meth:`diagonal` with explicit index arrays — still batched per
+        diagonal, just without the fused precomputation.
+        """
+        return None
 
     def validate_output(self, values: np.ndarray, expected_len: int) -> np.ndarray:
         """Check a diagonal result for shape/NaN problems and return it."""

@@ -76,6 +76,12 @@ class CostConstants:
     cache_base: float = 0.85
     cache_inv_coeff: float = 0.40
     cache_lin_coeff: float = 0.004
+    #: Per-cell speedup of the vectorized (SIMD batch-per-diagonal) engine
+    #: over the scalar serial sweep; calibrated against the measured ratio of
+    #: the two functional executors (``repro bench``).
+    cpu_vector_speedup: float = 6.0
+    #: Per-diagonal batch dispatch overhead of the vectorized engine.
+    vector_diag_overhead_us: float = 2.0
 
     def cache_factor(self, tile: int) -> float:
         """Relative per-cell cost of the CPU phases for a given tile size.
@@ -179,6 +185,26 @@ class CostModel:
     def serial_time(self, params: InputParams) -> float:
         """The optimised sequential baseline: every cell on one CPU core."""
         return params.cells * self.cpu_point_time(params)
+
+    def vectorized_time(self, params: InputParams) -> float:
+        """Single-core vectorized engine: diagonal batches on one CPU core.
+
+        Per-cell work is amortised by the SIMD batch speedup; each diagonal
+        pays a fixed batch dispatch overhead, so the engine's advantage grows
+        with ``dim`` and shrinks for coarse-grained kernels (large ``tsize``),
+        matching the behaviour of the functional executors.
+        """
+        c = self.constants
+        overhead = params.n_diagonals * c.vector_diag_overhead_us * 1e-6
+        return overhead + self.serial_time(params) / c.cpu_vector_speedup
+
+    def engine_time(self, engine: str, params: InputParams) -> float:
+        """Runtime of one single-core engine by registry name."""
+        if engine == "serial":
+            return self.serial_time(params)
+        if engine == "vectorized":
+            return self.vectorized_time(params)
+        raise InvalidParameterError(f"unknown serial engine {engine!r}")
 
     def cpu_region_time(
         self, params: InputParams, n_diagonals: int, cells: int, cpu_tile: int
@@ -326,6 +352,11 @@ class CostModel:
     def baseline_serial(self, params: InputParams) -> float:
         """Scheme (a): everything serial on one CPU core."""
         return self.serial_time(params)
+
+    def baseline_vectorized(self, params: InputParams) -> float:
+        """The vectorized single-core engine (not part of Figure 6, but the
+        baseline any modern reproduction should beat)."""
+        return self.vectorized_time(params)
 
     def baseline_cpu_parallel(self, params: InputParams, cpu_tile: int = 8) -> float:
         """Scheme (b): tiled parallel across all CPU cores, no GPU phase."""

@@ -5,10 +5,17 @@ Executors come in two flavours:
 * :class:`repro.runtime.serial.SerialExecutor` — the optimised sequential
   baseline, also the reference implementation the others are validated
   against;
+* :class:`repro.runtime.vectorized.VectorizedSerialExecutor` — the same
+  sweep with every anti-diagonal evaluated as one NumPy batch; the default
+  single-core backend when NumPy is available;
 * :class:`repro.runtime.hybrid.HybridExecutor` — the paper's three-phase
   CPU / GPU / CPU strategy, parameterised by
   :class:`repro.core.params.TunableParams`, built from the tiled CPU-parallel
   executor and the single-/multi-GPU band executors.
+
+All executors are registered by strategy name in
+:mod:`repro.runtime.registry`; construct them uniformly with
+:func:`repro.runtime.registry.get_executor`.
 
 Every executor supports two modes: ``functional`` (cell values are really
 computed, results validated against the serial sweep) and ``simulate`` (only
@@ -19,10 +26,24 @@ from repro.runtime.result import ExecutionResult
 from repro.runtime.timeline import Timeline
 from repro.runtime.executor_base import ExecutionMode, Executor
 from repro.runtime.serial import SerialExecutor
+from repro.runtime.vectorized import (
+    DiagonalSweepEngine,
+    VectorizedSerialExecutor,
+    compute_diagonal_range_vectorized,
+    numpy_available,
+)
 from repro.runtime.cpu_parallel import CPUParallelExecutor
 from repro.runtime.gpu_single import SingleGPUBandExecutor
 from repro.runtime.gpu_multi import MultiGPUBandExecutor
 from repro.runtime.hybrid import HybridExecutor
+from repro.runtime.registry import (
+    EXECUTORS,
+    available_executors,
+    available_serial_engines,
+    default_serial_executor,
+    get_executor,
+    register_executor,
+)
 
 __all__ = [
     "ExecutionResult",
@@ -30,8 +51,18 @@ __all__ = [
     "ExecutionMode",
     "Executor",
     "SerialExecutor",
+    "VectorizedSerialExecutor",
+    "DiagonalSweepEngine",
+    "compute_diagonal_range_vectorized",
+    "numpy_available",
     "CPUParallelExecutor",
     "SingleGPUBandExecutor",
     "MultiGPUBandExecutor",
     "HybridExecutor",
+    "EXECUTORS",
+    "available_executors",
+    "available_serial_engines",
+    "default_serial_executor",
+    "get_executor",
+    "register_executor",
 ]

@@ -1,0 +1,90 @@
+"""Registry of the available execution engines (backends).
+
+Mirrors :mod:`repro.apps.registry` on the executor side: every strategy is
+registered under its ``strategy`` name so the CLI, the benchmark driver and
+the autotuner can enumerate and construct backends uniformly.  The registry
+is also where the NumPy gate lives: :func:`default_serial_executor` returns
+the vectorized engine when NumPy is available and degrades to the scalar
+serial sweep otherwise, so the rest of the system never has to care.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.exceptions import InvalidParameterError
+from repro.hardware.costmodel import CostConstants
+from repro.hardware.system import SystemSpec
+from repro.runtime.cpu_parallel import CPUParallelExecutor
+from repro.runtime.executor_base import Executor
+from repro.runtime.gpu_multi import MultiGPUBandExecutor
+from repro.runtime.gpu_single import SingleGPUBandExecutor
+from repro.runtime.hybrid import HybridExecutor
+from repro.runtime.serial import SerialExecutor
+from repro.runtime.vectorized import VectorizedSerialExecutor, numpy_available
+
+#: Executor classes by strategy name.
+EXECUTORS: dict[str, type[Executor]] = {
+    SerialExecutor.strategy: SerialExecutor,
+    VectorizedSerialExecutor.strategy: VectorizedSerialExecutor,
+    CPUParallelExecutor.strategy: CPUParallelExecutor,
+    SingleGPUBandExecutor.strategy: SingleGPUBandExecutor,
+    MultiGPUBandExecutor.strategy: MultiGPUBandExecutor,
+    HybridExecutor.strategy: HybridExecutor,
+}
+
+#: The serial (single-core, whole-grid) engine family, in preference order.
+#: The autotuner's ``engine`` dimension and the hybrid executor's CPU phases
+#: choose among these.
+SERIAL_ENGINES: tuple[str, ...] = ("vectorized", "serial")
+
+
+def register_executor(cls: type[Executor]) -> type[Executor]:
+    """Register an executor class under its ``strategy`` name.
+
+    Usable as a decorator by out-of-tree executors::
+
+        @register_executor
+        class MyExecutor(Executor):
+            strategy = "my-strategy"
+    """
+    name = cls.strategy
+    if not name or name == Executor.strategy:
+        raise InvalidParameterError(
+            f"executor class {cls.__name__} must define a unique 'strategy' name"
+        )
+    EXECUTORS[name] = cls
+    return cls
+
+
+def get_executor(
+    name: str, system: SystemSpec, constants: CostConstants | None = None, **kwargs
+) -> Executor:
+    """Construct a registered executor by strategy name."""
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXECUTORS))
+        raise KeyError(f"unknown executor {name!r}; known: {known}") from None
+    return cls(system, constants, **kwargs)
+
+
+def available_executors() -> list[str]:
+    """Names of all registered executors, sorted."""
+    return sorted(EXECUTORS)
+
+
+def available_serial_engines() -> list[str]:
+    """Serial engine names usable in this environment, in preference order."""
+    return [
+        name
+        for name in SERIAL_ENGINES
+        if name != VectorizedSerialExecutor.strategy or numpy_available()
+    ]
+
+
+def default_serial_executor(
+    system: SystemSpec, constants: CostConstants | None = None
+) -> Executor:
+    """The preferred single-core executor: vectorized when NumPy is available."""
+    return get_executor(available_serial_engines()[0], system, constants)

@@ -1,0 +1,221 @@
+"""The vectorized wavefront engine: whole anti-diagonals as NumPy batches.
+
+The scalar executors evaluate diagonals through fancy-indexed gathers
+(:func:`repro.runtime.compute.compute_cells`): per diagonal they materialise
+index arrays, gather three neighbour arrays with ``np.where`` masks and
+scatter the result back.  For fine-grained kernels that machinery dominates
+the runtime.  This module removes it:
+
+* a diagonal of a row-major square grid is an arithmetic sequence in the
+  flattened array (:func:`repro.core.diagonal.flat_diagonal_slice`), so whole
+  diagonals are read and written through zero-copy strided *views*;
+* the west / north / north-west neighbours of diagonal ``d`` are sub-slices
+  of the views of diagonals ``d - 1`` and ``d - 2`` — no gathers at all.
+  Boundary cells only occur on the growing half of the sweep and touch at
+  most the two end elements of a diagonal;
+* kernels may provide a fused evaluator
+  (:meth:`repro.core.pattern.WavefrontKernel.make_diagonal_evaluator`) that
+  precomputes position-dependent tables once per sweep and evaluates each
+  diagonal with in-place ufuncs, writing straight into the grid.
+
+The engine is exposed three ways: :class:`DiagonalSweepEngine` (the raw
+sweep over any diagonal range, used by the hybrid executor's CPU phases),
+:func:`compute_diagonal_range_vectorized` (drop-in counterpart of
+:func:`repro.runtime.compute.compute_diagonal_range`) and
+:class:`VectorizedSerialExecutor` (the registered ``vectorized`` strategy,
+the default single-core backend whenever NumPy is available).
+"""
+
+from __future__ import annotations
+
+from repro.core import diagonal as dg
+from repro.core.exceptions import KernelError
+from repro.core.grid import WavefrontGrid
+from repro.core.params import TunableParams
+from repro.core.pattern import WavefrontProblem
+from repro.hardware.costmodel import PhaseBreakdown
+from repro.runtime.executor_base import Executor
+
+try:  # pragma: no cover - exercised indirectly by numpy_available()
+    import numpy as np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - the toolchain always ships numpy
+    np = None  # type: ignore[assignment]
+    _HAS_NUMPY = False
+
+
+def numpy_available() -> bool:
+    """True when NumPy importable — the gate for the vectorized backend.
+
+    NumPy is a hard dependency of the core package, but the registry keeps
+    the check explicit so stripped-down deployments (or a future non-NumPy
+    core) degrade to the scalar serial executor instead of crashing.
+    """
+    return _HAS_NUMPY
+
+
+class DiagonalSweepEngine:
+    """Batched anti-diagonal sweep of one wavefront problem.
+
+    The engine is built once per problem (so fused evaluators can precompute
+    their tables) and then run over any diagonal range with :meth:`sweep`.
+    Neighbour values are read from the grid itself through strided diagonal
+    views, which makes a mid-grid range (``d_lo > 0``) correct by
+    construction — exactly what the hybrid executor's trailing CPU phase
+    needs.
+    """
+
+    def __init__(self, problem: WavefrontProblem) -> None:
+        if not _HAS_NUMPY:
+            raise KernelError("the vectorized engine requires NumPy")
+        self.problem = problem
+        self.kernel = problem.kernel
+        self.boundary = float(problem.boundary)
+        dim = problem.dim
+        self._evaluator = self.kernel.make_diagonal_evaluator(dim, self.boundary)
+        # Index views for the generic (non-fused) kernel path: i ascending,
+        # j descending, both sliced per diagonal without allocation.
+        self._rows = np.arange(dim, dtype=np.int64)
+        self._jdesc = np.arange(2 * dim - 2, -1, -1, dtype=np.int64)
+        # Scratch used to assemble boundary-padded neighbours on the growing
+        # half of the sweep (at most two boundary elements per diagonal).
+        self._west = np.empty(dim)
+        self._north = np.empty(dim)
+        self._nw = np.empty(dim)
+
+    # ------------------------------------------------------------------
+    def sweep(self, grid: WavefrontGrid, d_lo: int = 0, d_hi: int | None = None) -> int:
+        """Compute diagonals ``d_lo .. d_hi`` inclusive; returns cells computed.
+
+        Diagonals before ``d_lo`` must already hold their final values (or be
+        outside the grid); this matches the contract of
+        :func:`repro.runtime.compute.compute_diagonal_range`.
+        """
+        dim = grid.dim
+        last = 2 * dim - 2
+        if d_hi is None:
+            d_hi = last
+        if d_hi < d_lo:
+            return 0
+        if d_lo < 0 or d_hi > last:
+            raise KernelError(
+                f"diagonal range [{d_lo}, {d_hi}] out of bounds for dim={dim}"
+            )
+
+        flat = grid.values.reshape(-1)
+        boundary = self.boundary
+        evaluator = self._evaluator
+        kernel = self.kernel
+        stride = dim - 1
+        total = 0
+        for d in range(d_lo, d_hi + 1):
+            if d < dim:
+                i_min, i_max = 0, d
+            else:
+                i_min, i_max = d - dim + 1, dim - 1
+            m = i_max - i_min + 1
+            # Inlined flat_diagonal_slice(d, dim): cell (i, d - i) sits at
+            # flat index d + i * (dim - 1).
+            start = i_min * dim + d - i_min
+            out = flat[start : start + (m - 1) * stride + 1 : stride]
+
+            if d >= dim:
+                # Shrinking half: every neighbour is an interior cell, so
+                # west is the same-rows slice of diagonal d-1 (one flat
+                # position to the left), north the rows-above slice, and
+                # north-west the rows-above slice of diagonal d-2.
+                west = flat[start - 1 : start + (m - 1) * stride : stride]
+                north = flat[start - dim : start + (m - 1) * stride - 1 : stride]
+                nw = flat[start - dim - 1 : start + (m - 1) * stride - 2 : stride]
+            else:
+                # Growing half: rows 0 .. d.  The first row has no north /
+                # north-west neighbour and the last row (column 0) has no
+                # west / north-west neighbour; everything else is interior.
+                west = self._west[:m]
+                north = self._north[:m]
+                nw = self._nw[:m]
+                west[m - 1] = boundary
+                north[0] = boundary
+                nw[0] = boundary
+                nw[m - 1] = boundary
+                if d >= 1:
+                    prev = flat[dg.flat_diagonal_slice(d - 1, dim)]
+                    west[: m - 1] = prev
+                    north[1:] = prev
+                if d >= 2:
+                    nw[1 : m - 1] = flat[dg.flat_diagonal_slice(d - 2, dim)]
+
+            if evaluator is not None:
+                evaluator(d, i_min, i_max, west, north, nw, out)
+            else:
+                i = self._rows[i_min : i_max + 1]
+                # self._jdesc[k] = 2*dim - 2 - k, so the slice below runs
+                # j = d - i_min down to d - i_max, matching i.
+                k0 = 2 * dim - 2 - (d - i_min)
+                j = self._jdesc[k0 : k0 + m]
+                values = kernel.diagonal(i, j, west, north, nw)
+                values = np.asarray(values, dtype=float)
+                if values.ndim != 1 or values.shape[0] != m:
+                    raise KernelError(
+                        f"kernel {kernel.name!r} returned shape {values.shape}, "
+                        f"expected ({m},)"
+                    )
+                out[:] = values
+            total += m
+
+        self._check_finite(grid, d_lo, d_hi)
+        return total
+
+    def _check_finite(self, grid: WavefrontGrid, d_lo: int, d_hi: int) -> None:
+        """One batched finiteness check for the whole range.
+
+        The scalar path validates every diagonal individually; doing it once
+        at the end keeps the per-diagonal loop lean without weakening the
+        guarantee that non-finite kernel output raises :class:`KernelError`.
+        """
+        if not np.all(np.isfinite(grid.values)):
+            raise KernelError(
+                f"kernel {self.kernel.name!r} produced non-finite values "
+                f"in diagonals [{d_lo}, {d_hi}]"
+            )
+
+
+def compute_diagonal_range_vectorized(
+    problem: WavefrontProblem, grid: WavefrontGrid, d_lo: int, d_hi: int
+) -> int:
+    """Vectorized counterpart of :func:`repro.runtime.compute.compute_diagonal_range`."""
+    return DiagonalSweepEngine(problem).sweep(grid, d_lo, d_hi)
+
+
+class VectorizedSerialExecutor(Executor):
+    """Single-core sweep evaluating whole anti-diagonals as NumPy batches.
+
+    Produces grids identical to :class:`repro.runtime.serial.SerialExecutor`
+    (the test suite asserts cell-for-cell equality on every registered
+    application) while running several times faster, and is therefore the
+    default serial fallback whenever NumPy is available
+    (:func:`repro.runtime.registry.default_serial_executor`).
+    """
+
+    strategy = "vectorized"
+
+    def _breakdown(self, problem: WavefrontProblem, tunables: TunableParams) -> PhaseBreakdown:
+        params = problem.input_params()
+        return PhaseBreakdown(pre_s=self.cost_model.vectorized_time(params))
+
+    def _run_functional(
+        self, problem: WavefrontProblem, tunables: TunableParams
+    ) -> tuple[WavefrontGrid, dict]:
+        grid = problem.make_grid()
+        engine = DiagonalSweepEngine(problem)
+        cells = engine.sweep(grid)
+        return grid, {
+            "cells_computed": cells,
+            "fused_kernel": engine._evaluator is not None,
+        }
+
+    def _validate(self, problem: WavefrontProblem, tunables: TunableParams) -> TunableParams:
+        # Like the scalar serial baseline this strategy ignores tunables;
+        # normalise them so results record the canonical configuration.
+        return TunableParams(cpu_tile=1)

@@ -1,0 +1,171 @@
+"""Tests for the edit-distance, LCS and matrix-chain applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.editdistance import EditDistanceApp, EditDistanceKernel
+from repro.apps.lcs import LCSApp, LCSKernel
+from repro.apps.matrixchain import MatrixChainApp, MatrixChainKernel
+from repro.core.exceptions import InvalidParameterError
+from repro.runtime.compute import reference_grid
+
+
+def naive_edit_distance(a, b, gap=1.0, mismatch=1.0):
+    """Textbook O(n*m) Needleman-Wunsch table over the full sequences."""
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1))
+    table[:, 0] = np.arange(n + 1) * gap
+    table[0, :] = np.arange(m + 1) * gap
+    for r in range(1, n + 1):
+        for c in range(1, m + 1):
+            sub = 0.0 if a[r - 1] == b[c - 1] else mismatch
+            table[r, c] = min(
+                table[r - 1, c] + gap,
+                table[r, c - 1] + gap,
+                table[r - 1, c - 1] + sub,
+            )
+    return table
+
+
+def naive_lcs(a, b):
+    """Textbook LCS length table."""
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1))
+    for r in range(1, n + 1):
+        for c in range(1, m + 1):
+            if a[r - 1] == b[c - 1]:
+                table[r, c] = table[r - 1, c - 1] + 1
+            else:
+                table[r, c] = max(table[r - 1, c], table[r, c - 1])
+    return table
+
+
+def full_matrix_chain_optimum(p):
+    """Classic O(n^3) matrix-chain DP (all split points)."""
+    n = len(p) - 1
+    m = np.zeros((n, n))
+    for length in range(2, n + 1):
+        for s in range(n - length + 1):
+            e = s + length - 1
+            m[s, e] = min(
+                m[s, k] + m[k + 1, e] + p[s] * p[k + 1] * p[e + 1]
+                for k in range(s, e)
+            )
+    return float(m[0, n - 1])
+
+
+class TestEditDistance:
+    def test_grid_matches_naive_dp(self):
+        app = EditDistanceApp(dim=12, seed=5, similarity=0.6)
+        problem = app.problem(12)
+        grid = reference_grid(problem)
+        kernel = problem.kernel
+        table = naive_edit_distance(kernel.seq_a, kernel.seq_b)
+        # Grid cell (i, j) holds D[i+1, j+1] of the (n+1)-sized table.
+        assert np.allclose(grid.values, table[1:, 1:])
+
+    def test_identical_sequences_have_zero_distance(self):
+        seq = np.array([0, 1, 2, 3, 2, 1], dtype=np.int8)
+        problem_kernel = EditDistanceKernel(seq, seq)
+        from repro.core.pattern import WavefrontProblem
+
+        grid = reference_grid(WavefrontProblem(dim=6, kernel=problem_kernel))
+        assert grid.values[5, 5] == 0.0
+
+    def test_distance_is_levenshtein_for_unit_costs(self):
+        a = np.array([0, 1, 2, 3], dtype=np.int8)  # ACGT
+        b = np.array([0, 2, 3], dtype=np.int8)  # AGT: one deletion
+        from repro.core.pattern import WavefrontProblem
+
+        grid = reference_grid(WavefrontProblem(dim=3, kernel=EditDistanceKernel(a, b)))
+        # Aligning the 3-prefix of a against b: ACG vs AGT -> distance 2.
+        table = naive_edit_distance(a[:3], b)
+        assert grid.values[2, 2] == table[3, 3]
+
+    def test_metadata_on_synthetic_scale(self):
+        kernel = EditDistanceApp(dim=16, seed=1).make_kernel()
+        assert kernel.tsize == 0.5 and kernel.dsize == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EditDistanceApp(similarity=1.5)
+        with pytest.raises(InvalidParameterError):
+            EditDistanceKernel(np.array([0, 1], dtype=np.int8), np.array([1], dtype=np.int8), gap=0.0)
+
+
+class TestLCS:
+    def test_grid_matches_naive_dp(self):
+        app = LCSApp(dim=14, seed=9, similarity=0.5)
+        problem = app.problem(14)
+        grid = reference_grid(problem)
+        kernel = problem.kernel
+        table = naive_lcs(kernel.seq_a, kernel.seq_b)
+        assert np.allclose(grid.values, table[1:, 1:])
+
+    def test_identical_sequences_reach_full_length(self):
+        seq = np.array([0, 1, 2, 3, 0, 1], dtype=np.int8)
+        from repro.core.pattern import WavefrontProblem
+
+        grid = reference_grid(WavefrontProblem(dim=6, kernel=LCSKernel(seq, seq)))
+        assert grid.values[5, 5] == 6.0
+
+    def test_lcs_monotone_along_rows_and_columns(self):
+        problem = LCSApp(dim=10, seed=2).problem(10)
+        grid = reference_grid(problem)
+        assert np.all(np.diff(grid.values, axis=0) >= 0)
+        assert np.all(np.diff(grid.values, axis=1) >= 0)
+
+    def test_metadata_on_synthetic_scale(self):
+        kernel = LCSApp(dim=16, seed=1).make_kernel()
+        assert kernel.tsize == 0.5 and kernel.dsize == 0
+
+
+class TestMatrixChain:
+    def test_corner_matches_direct_edge_split_loop(self):
+        app = MatrixChainApp(dim=24, seed=11)
+        problem = app.problem(24)
+        grid = reference_grid(problem)
+        kernel = problem.kernel
+        assert grid.values[23, 23] == pytest.approx(kernel.optimum_edge_split())
+
+    def test_edge_split_is_upper_bound_on_full_dp(self):
+        app = MatrixChainApp(dim=10, seed=3)
+        kernel = app.make_kernel()
+        problem = app.problem(10)
+        grid = reference_grid(problem)
+        full = full_matrix_chain_optimum(kernel.dims)
+        assert grid.values[9, 9] >= full - 1e-9
+
+    def test_exact_for_monotone_dimension_chains(self):
+        # For monotonically non-increasing dimensions the greedy edge split
+        # is optimal, so the restricted DP equals the full DP.
+        dims = np.array([32, 16, 8, 4, 2, 1], dtype=float)
+        kernel = MatrixChainKernel(dims)
+        from repro.core.pattern import WavefrontProblem
+
+        n = kernel.n
+        grid = reference_grid(WavefrontProblem(dim=n, kernel=kernel))
+        assert grid.values[n - 1, n - 1] == pytest.approx(
+            full_matrix_chain_optimum(dims)
+        )
+
+    def test_base_diagonals_are_zero(self):
+        problem = MatrixChainApp(dim=8, seed=1).problem(8)
+        grid = reference_grid(problem)
+        n = 8
+        for i in range(n):
+            for j in range(n):
+                if j <= (n - 1 - i):  # e <= s: single matrices and non-intervals
+                    assert grid.values[i, j] == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MatrixChainKernel(np.array([5.0]))
+        with pytest.raises(InvalidParameterError):
+            MatrixChainKernel(np.array([4.0, -1.0, 3.0]))
+        with pytest.raises(InvalidParameterError):
+            MatrixChainApp(max_dim_size=0)
+
+    def test_metadata_on_synthetic_scale(self):
+        kernel = MatrixChainApp(dim=16, seed=1).make_kernel()
+        assert kernel.tsize == 1.0 and kernel.dsize == 0

@@ -102,12 +102,15 @@ class TestKnapsack:
 
 
 class TestRegistry:
-    def test_all_four_applications_registered(self):
+    def test_all_applications_registered(self):
         assert set(available_applications()) == {
             "synthetic",
             "nash-equilibrium",
             "sequence-comparison",
             "knapsack",
+            "edit-distance",
+            "lcs",
+            "matrix-chain",
         }
 
     def test_get_application_with_kwargs(self):

@@ -1,0 +1,77 @@
+"""Property-based tests for the diagonal index arrays and strided flat views
+that back the vectorized engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import diagonal as dg
+from repro.core.grid import WavefrontGrid
+
+dims = st.integers(min_value=2, max_value=120)
+
+
+class TestDiagonalIndexArrays:
+    @given(dim=dims, d=st.integers(0, 400), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_diagonal_cells(self, dim, d, data):
+        d = min(d, 2 * dim - 2)
+        i, j = dg.diagonal_index_arrays(d, dim, dim)
+        cells = dg.diagonal_cells(d, dim, dim)
+        assert np.array_equal(i, cells[:, 0])
+        assert np.array_equal(j, cells[:, 1])
+
+    @given(dim=dims, d=st.integers(0, 400))
+    @settings(max_examples=80, deadline=None)
+    def test_geometry_invariants(self, dim, d):
+        d = min(d, 2 * dim - 2)
+        i, j = dg.diagonal_index_arrays(d, dim, dim)
+        # Every cell lies on the diagonal, inside the grid, rows ascending.
+        assert np.all(i + j == d)
+        assert np.all((0 <= i) & (i < dim))
+        assert np.all((0 <= j) & (j < dim))
+        assert np.all(np.diff(i) == 1)
+        assert i.size == dg.diagonal_length(d, dim, dim)
+
+    @given(rows=st.integers(1, 60), cols=st.integers(1, 60), d=st.integers(0, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_rectangular_grids(self, rows, cols, d):
+        d = min(d, rows + cols - 2)
+        i, j = dg.diagonal_index_arrays(d, rows, cols)
+        assert np.all(i + j == d)
+        assert i.size == dg.diagonal_length(d, rows, cols)
+
+
+class TestFlatDiagonalSlice:
+    @given(dim=dims, d=st.integers(0, 400))
+    @settings(max_examples=80, deadline=None)
+    def test_view_equals_fancy_indexed_diagonal(self, dim, d):
+        d = min(d, 2 * dim - 2)
+        values = np.arange(dim * dim, dtype=float).reshape(dim, dim)
+        i, j = dg.diagonal_index_arrays(d, dim, dim)
+        view = values.reshape(-1)[dg.flat_diagonal_slice(d, dim)]
+        assert np.array_equal(view, values[i, j])
+
+    @given(dim=dims, d=st.integers(0, 400))
+    @settings(max_examples=50, deadline=None)
+    def test_view_is_writable_alias_of_the_grid(self, dim, d):
+        d = min(d, 2 * dim - 2)
+        grid = WavefrontGrid(dim)
+        view = grid.diagonal_view(d)
+        view[:] = 7.5
+        i, j = dg.diagonal_index_arrays(d, dim, dim)
+        assert np.all(grid.values[i, j] == 7.5)
+        # Only the diagonal's cells were touched.
+        assert np.count_nonzero(grid.values) == i.size
+
+    @given(dim=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_all_diagonals_partition_the_grid(self, dim):
+        values = np.zeros((dim, dim))
+        flat = values.reshape(-1)
+        total = 0
+        for d in range(2 * dim - 1):
+            view = flat[dg.flat_diagonal_slice(d, dim)]
+            view += 1.0
+            total += view.size
+        assert total == dim * dim
+        assert np.all(values == 1.0)

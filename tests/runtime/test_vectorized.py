@@ -1,0 +1,214 @@
+"""Tests for the vectorized wavefront engine, its executor and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import available_applications, get_application
+from repro.core.exceptions import KernelError
+from repro.core.params import TunableParams
+from repro.core.pattern import FunctionKernel, WavefrontProblem
+from repro.runtime import (
+    DiagonalSweepEngine,
+    HybridExecutor,
+    SerialExecutor,
+    VectorizedSerialExecutor,
+    available_executors,
+    available_serial_engines,
+    compute_diagonal_range_vectorized,
+    default_serial_executor,
+    get_executor,
+    numpy_available,
+    register_executor,
+)
+from repro.runtime.compute import compute_diagonal_range
+from repro.runtime.executor_base import Executor
+
+
+class TestEquivalenceWithSerial:
+    """The acceptance property: identical grids to serial.py on every app."""
+
+    @pytest.mark.parametrize("app_name", available_applications())
+    @pytest.mark.parametrize("dim", [2, 3, 5, 17, 32])
+    def test_vectorized_matches_serial_cell_for_cell(self, app_name, dim, i7_2600k):
+        app = get_application(app_name, dim=dim)
+        problem = app.problem(dim)
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        vectorized = VectorizedSerialExecutor(i7_2600k).execute(problem)
+        assert np.array_equal(serial.grid.values, vectorized.grid.values)
+
+    @pytest.mark.parametrize("app_name", available_applications())
+    def test_fused_evaluator_active_where_expected(self, app_name, i7_2600k):
+        app = get_application(app_name, dim=24)
+        problem = app.problem(24)
+        result = VectorizedSerialExecutor(i7_2600k).execute(problem)
+        # Every registered application ships a fused evaluator at its
+        # natural problem size.
+        assert result.stats["fused_kernel"] is True
+
+    def test_generic_fallback_without_evaluator(self, i7_2600k):
+        kernel = FunctionKernel(
+            lambda i, j, w, n, nw: np.maximum(w, n) + 1.0, tsize=1.0, name="counting"
+        )
+        problem = WavefrontProblem(dim=12, kernel=kernel)
+        result = VectorizedSerialExecutor(i7_2600k).execute(problem)
+        assert result.stats["fused_kernel"] is False
+        i, j = np.meshgrid(np.arange(12), np.arange(12), indexing="ij")
+        assert np.array_equal(result.grid.values, i + j + 1.0)
+
+    def test_matrix_chain_off_size_falls_back(self, i7_2600k):
+        # A problem dim different from the chain length has modular
+        # wrap-around semantics with no slice equivalent.
+        app = get_application("matrix-chain", dim=32)
+        problem = app.problem(20)
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        vectorized = VectorizedSerialExecutor(i7_2600k).execute(problem)
+        assert vectorized.stats["fused_kernel"] is False
+        assert np.array_equal(serial.grid.values, vectorized.grid.values)
+
+
+class TestDiagonalSweepEngine:
+    def test_partial_range_continues_a_scalar_prefix(self, small_synthetic):
+        dim = small_synthetic.dim
+        split = dim + 3
+        scalar = small_synthetic.make_grid()
+        compute_diagonal_range(small_synthetic, scalar, 0, 2 * dim - 2)
+
+        mixed = small_synthetic.make_grid()
+        compute_diagonal_range(small_synthetic, mixed, 0, split)
+        cells = compute_diagonal_range_vectorized(small_synthetic, mixed, split + 1, 2 * dim - 2)
+        assert cells > 0
+        assert np.array_equal(scalar.values, mixed.values)
+
+    def test_range_sweep_returns_cell_count(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        engine = DiagonalSweepEngine(small_synthetic)
+        cells = engine.sweep(grid)
+        assert cells == small_synthetic.dim**2
+
+    def test_empty_range_is_noop(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        assert DiagonalSweepEngine(small_synthetic).sweep(grid, 5, 4) == 0
+        assert np.all(grid.values == 0.0)
+
+    def test_out_of_bounds_range_rejected(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        with pytest.raises(KernelError):
+            DiagonalSweepEngine(small_synthetic).sweep(grid, 0, 2 * small_synthetic.dim)
+
+    def test_non_finite_kernel_output_raises(self, i7_2600k):
+        kernel = FunctionKernel(
+            lambda i, j, w, n, nw: np.full(i.shape, np.inf), tsize=1.0, name="bad"
+        )
+        problem = WavefrontProblem(dim=8, kernel=kernel)
+        with pytest.raises(KernelError):
+            VectorizedSerialExecutor(i7_2600k).execute(problem)
+
+    def test_wrong_kernel_shape_raises(self, i7_2600k):
+        kernel = FunctionKernel(
+            lambda i, j, w, n, nw: np.zeros(i.size + 1), tsize=1.0, name="misshapen"
+        )
+        problem = WavefrontProblem(dim=8, kernel=kernel)
+        with pytest.raises(KernelError):
+            VectorizedSerialExecutor(i7_2600k).execute(problem)
+
+
+class TestVectorizedExecutor:
+    def test_tunables_normalised_to_serial_configuration(self, small_synthetic, i7_2600k):
+        result = VectorizedSerialExecutor(i7_2600k).execute(
+            small_synthetic, TunableParams.from_encoding(cpu_tile=8, band=4, halo=-1)
+        )
+        assert result.tunables == TunableParams(cpu_tile=1)
+
+    def test_simulated_rtime_beats_serial(self, i7_2600k):
+        problem = get_application("synthetic", dim=512).problem(512)
+        serial = SerialExecutor(i7_2600k).execute(problem, mode="simulate")
+        vectorized = VectorizedSerialExecutor(i7_2600k).execute(problem, mode="simulate")
+        assert vectorized.rtime < serial.rtime
+
+    def test_hybrid_cpu_engine_produces_identical_grid(self, small_synthetic, i7_2600k):
+        tunables = TunableParams.from_encoding(cpu_tile=4, band=6, halo=2, gpu_tile=4)
+        scalar = HybridExecutor(i7_2600k).execute(small_synthetic, tunables)
+        batched = HybridExecutor(i7_2600k, cpu_engine="vectorized").execute(
+            small_synthetic, tunables
+        )
+        assert np.array_equal(scalar.grid.values, batched.grid.values)
+
+    def test_hybrid_rejects_unknown_engine(self, i7_2600k):
+        with pytest.raises(Exception):
+            HybridExecutor(i7_2600k, cpu_engine="fpga")
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        names = available_executors()
+        for expected in (
+            "serial",
+            "vectorized",
+            "cpu-parallel",
+            "gpu-only-single",
+            "gpu-only-multi",
+            "hybrid",
+        ):
+            assert expected in names
+
+    def test_get_executor_constructs_by_name(self, i7_2600k):
+        executor = get_executor("vectorized", i7_2600k)
+        assert isinstance(executor, VectorizedSerialExecutor)
+
+    def test_unknown_executor_rejected(self, i7_2600k):
+        with pytest.raises(KeyError):
+            get_executor("quantum", i7_2600k)
+
+    def test_default_serial_executor_prefers_vectorized(self, i7_2600k):
+        assert numpy_available()  # the test environment ships numpy
+        assert default_serial_executor(i7_2600k).strategy == "vectorized"
+        assert available_serial_engines()[0] == "vectorized"
+
+    def test_register_executor_decorator(self, i7_2600k):
+        from repro.runtime.registry import EXECUTORS
+
+        @register_executor
+        class ProbeExecutor(SerialExecutor):
+            strategy = "probe-executor"
+
+        try:
+            assert isinstance(get_executor("probe-executor", i7_2600k), ProbeExecutor)
+        finally:
+            del EXECUTORS["probe-executor"]
+
+    def test_register_requires_strategy_name(self):
+        class Nameless(Executor):
+            def _breakdown(self, problem, tunables):  # pragma: no cover
+                raise NotImplementedError
+
+            def _run_functional(self, problem, tunables):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(Exception):
+            register_executor(Nameless)
+
+
+class TestEngineDimension:
+    def test_search_space_exposes_engines(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+
+        space = SearchSpace(tiny_space, i7_2600k)
+        assert "vectorized" in space.engines
+        assert "serial" in space.engines
+        assert "engines" in space.describe()
+
+    def test_best_engine_is_vectorized_for_typical_instances(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+        from repro.core.params import InputParams
+
+        space = SearchSpace(tiny_space, i7_2600k)
+        params = InputParams(dim=1900, tsize=750, dsize=1)
+        assert space.best_engine(params) == "vectorized"
+
+    def test_tuner_selects_engine(self, trained_tuner_i7):
+        from repro.core.params import InputParams
+
+        params = InputParams(dim=128, tsize=500, dsize=1)
+        tunables, engine = trained_tuner_i7.tune_with_engine(params)
+        assert engine in ("vectorized", "serial")
+        assert isinstance(tunables, TunableParams)

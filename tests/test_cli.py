@@ -77,3 +77,56 @@ class TestCommands:
         )
         assert code == 0
         assert "loaded trained models" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_reports_package_version(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_parses_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.dim == 256 and args.apps == "all" and args.executors == "all"
+
+    def test_bench_writes_json_and_verifies(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--dim",
+                "24",
+                "--apps",
+                "synthetic,lcs",
+                "--executors",
+                "serial,vectorized",
+                "--repeats",
+                "1",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "vectorized" in printed and "vs serial" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["meta"]["dim"] == 24
+        records = payload["results"]
+        assert len(records) == 4  # 2 apps x 2 executors
+        by_pair = {(r["application"], r["executor"]): r for r in records}
+        for app_name in ("synthetic", "lcs"):
+            assert by_pair[(app_name, "vectorized")]["matches_serial"] is True
+            assert by_pair[(app_name, "vectorized")]["speedup_vs_serial"] > 0
+
+    def test_bench_rejects_unknown_names(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--apps", "raytracer", "--dim", "16"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--executors", "quantum", "--dim", "16"])

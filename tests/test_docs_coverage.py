@@ -1,0 +1,20 @@
+"""The docs coverage check, wired into the test suite.
+
+CI also runs ``scripts/check_docs.py`` directly; this test keeps the
+guarantee local: every public class in ``repro.apps`` and ``repro.runtime``
+appears in ``docs/architecture.md``.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_architecture_doc_covers_all_public_classes():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    assert check_docs.main() == 0
