@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Smoke-scale perf-regression gate for CI.
+
+Compares a freshly measured ``repro bench`` JSON against a committed
+baseline.  Absolute wall-clock times are useless across CI machines, so
+each executor is normalised by the *serial* executor's time on the same
+application in the same run; the gate fails only when that machine-neutral
+ratio degrades by more than ``--threshold`` (generous by design — it exists
+to catch gross, order-of-magnitude regressions, not noise):
+
+    fresh_norm > threshold * baseline_norm   ->  FAIL
+
+Also fails when any fresh result did not match the serial reference grid.
+
+Usage (CI):
+
+    python -m repro bench --dim 96 --apps synthetic,lcs \
+        --executors serial,vectorized,cpu-parallel,mp-parallel \
+        --out /tmp/perf_smoke.json
+    python scripts/check_perf.py --fresh /tmp/perf_smoke.json \
+        --baseline benchmarks/results/ci_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_normalised(path: Path) -> tuple[dict[tuple[str, str], float], list[str]]:
+    """Map of (application, executor) -> time normalised by serial, plus errors."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    records = payload["results"]
+    serial: dict[str, float] = {
+        r["application"]: r["wall_s_best"]
+        for r in records
+        if r["executor"] == "serial"
+    }
+    normalised: dict[tuple[str, str], float] = {}
+    errors: list[str] = []
+    for r in records:
+        app, executor = r["application"], r["executor"]
+        if r.get("matches_serial") is False:
+            errors.append(f"{app}/{executor}: grid did not match the serial reference")
+        if app not in serial:
+            continue
+        normalised[(app, executor)] = r["wall_s_best"] / serial[app]
+    return normalised, errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True, help="bench JSON just measured")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/results/ci_baseline.json"),
+        help="committed baseline bench JSON",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="fail when fresh normalised time exceeds baseline by this factor",
+    )
+    args = parser.parse_args()
+
+    fresh, errors = load_normalised(args.fresh)
+    baseline, _ = load_normalised(args.baseline)
+
+    failures = list(errors)
+    compared = 0
+    for key, base_norm in sorted(baseline.items()):
+        if key not in fresh or key[1] == "serial":
+            continue
+        compared += 1
+        fresh_norm = fresh[key]
+        ratio = fresh_norm / base_norm if base_norm > 0 else float("inf")
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"{key[0]:<20} {key[1]:<14} baseline {base_norm:8.3f}x serial, "
+            f"fresh {fresh_norm:8.3f}x serial  ({ratio:5.2f}x baseline)  {status}"
+        )
+        if ratio > args.threshold:
+            failures.append(
+                f"{key[0]}/{key[1]}: {ratio:.2f}x slower than baseline "
+                f"(threshold {args.threshold:.1f}x)"
+            )
+
+    if compared == 0:
+        failures.append("no overlapping (application, executor) pairs to compare")
+    if failures:
+        print("\nperf check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nperf check OK: {compared} pairs within {args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,25 +105,25 @@ class EditDistanceKernel(WavefrontKernel):
         def evaluate(d, i_min, i_max, west, north, northwest, out):
             m = i_max - i_min + 1
             t = scratch[:m]
-            np.add(northwest, sub_flat[dg.flat_diagonal_slice(d, dim)], out=out)
+            np.add(northwest, sub_flat[dg.flat_diagonal_segment(d, dim, i_min, i_max)], out=out)
             np.add(north, gap, out=t)
             np.minimum(out, t, out=out)
             np.add(west, gap, out=t)
             np.minimum(out, t, out=out)
-            if d < dim:
-                # First element (0, d): north/north-west come from the
-                # virtual first row.  Recompute the full scalar min with the
-                # same float arithmetic as diagonal().
+            if i_min == 0:
+                # First element is cell (0, d): north/north-west come from
+                # the virtual first row.  Recompute the full scalar min with
+                # the same float arithmetic as diagonal().
                 west0 = west[0] if d > 0 else 1.0 * gap
                 sub0 = sub_flat[d]
                 out[0] = min((d + 1.0) * gap + gap, west0 + gap, d * gap + sub0)
-                if d >= 1:
-                    # Last element (d, 0): west/north-west from the virtual
-                    # first column.
-                    subl = sub_flat[d * dim]
-                    out[m - 1] = min(
-                        north[m - 1] + gap, (d + 1.0) * gap + gap, d * gap + subl
-                    )
+            if d - i_max == 0 and d >= 1:
+                # Last element is cell (d, 0): west/north-west from the
+                # virtual first column.
+                subl = sub_flat[d * dim]
+                out[m - 1] = min(
+                    north[m - 1] + gap, (d + 1.0) * gap + gap, d * gap + subl
+                )
 
         return evaluate
 

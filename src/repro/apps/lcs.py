@@ -75,7 +75,7 @@ class LCSKernel(WavefrontKernel):
             t = scratch[:m]
             np.add(northwest, 1.0, out=t)
             np.maximum(north, west, out=out)
-            np.copyto(out, t, where=match_flat[dg.flat_diagonal_slice(d, dim)])
+            np.copyto(out, t, where=match_flat[dg.flat_diagonal_segment(d, dim, i_min, i_max)])
 
         return evaluate
 

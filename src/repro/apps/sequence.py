@@ -127,7 +127,7 @@ class SmithWatermanKernel(WavefrontKernel):
         def evaluate(d, i_min, i_max, west, north, northwest, out):
             m = i_max - i_min + 1
             t = scratch[:m]
-            np.add(northwest, sub_flat[dg.flat_diagonal_slice(d, dim)], out=out)
+            np.add(northwest, sub_flat[dg.flat_diagonal_segment(d, dim, i_min, i_max)], out=out)
             np.maximum(out, 0.0, out=out)
             np.subtract(north, gap, out=t)
             np.maximum(out, t, out=out)

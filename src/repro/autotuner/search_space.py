@@ -5,11 +5,15 @@ sweeps, Table 3) with a :class:`repro.hardware.system.SystemSpec` (what the
 platform can actually run — e.g. the i3-540 has one GPU, so the halo
 dimension collapses).
 
-Beyond the paper's five tunables the space carries an *engine* dimension:
+Beyond the paper's five tunables the space carries an *engine* dimension —
 which single-core backend (scalar ``serial`` or batched ``vectorized``) the
-CPU phases run on.  Engine choice does not interact with band / halo — the
-best engine is decided per instance by direct cost-model comparison
-(:meth:`SearchSpace.best_engine`) instead of multiplying the swept grid.
+CPU phases run on — plus a *CPU backend* and a *worker-count* dimension for
+the shared-memory multicore backend (``mp-parallel``).  None of these
+interact with band / halo, so instead of multiplying the swept grid they
+are decided per instance by direct cost-model comparison
+(:meth:`SearchSpace.best_engine`, :meth:`SearchSpace.best_cpu_backend`,
+:meth:`SearchSpace.best_workers` — the latter two through the cost model's
+parallel-efficiency term).
 """
 
 from __future__ import annotations
@@ -51,6 +55,105 @@ class SearchSpace:
         model = cost_model if cost_model is not None else CostModel(self.system)
         return min(self.engines, key=lambda e: model.engine_time(e, instance))
 
+    @property
+    def worker_counts(self) -> tuple[int, ...]:
+        """Candidate worker counts for the multicore backend.
+
+        Powers of two up to the platform's worker budget, always including
+        the budget itself — the worker-count dimension of the search space.
+        Like the engine dimension it is not swept against band/halo: the
+        best count is resolved per instance by direct cost-model comparison
+        (:meth:`best_workers`).
+        """
+        budget = self.system.cpu.workers
+        counts: list[int] = []
+        w = 1
+        while w < budget:
+            counts.append(w)
+            w *= 2
+        counts.append(budget)
+        return tuple(dict.fromkeys(counts))
+
+    @property
+    def cpu_backends(self) -> tuple[str, ...]:
+        """CPU backend dimension: the serial engines plus the multicore pool.
+
+        ``mp-parallel`` shares the vectorized engine's NumPy gate (its tile
+        sweeps are the same batched evaluation), so it is offered exactly
+        when ``vectorized`` is.
+        """
+        engines = self.engines
+        if "vectorized" in engines:
+            return engines + ("mp-parallel",)
+        return engines
+
+    def mp_tile_candidates(self, instance: InputParams) -> tuple[int, ...]:
+        """Candidate tile sides for the multicore backend on ``instance``.
+
+        The backend's sweet spot is much coarser than the paper's cache
+        tiles (the pool dispatch must be amortised), so the candidates span
+        8 .. 256 clipped to the grid.
+        """
+        return tuple(t for t in (8, 16, 32, 64, 128, 256) if t <= instance.dim) or (
+            instance.dim,
+        )
+
+    def _mp_time(
+        self,
+        model: CostModel,
+        instance: InputParams,
+        cpu_tile: int | None,
+        workers: int,
+    ) -> float:
+        """mp-parallel runtime at ``workers``, tile fixed or co-optimised."""
+        tiles = (cpu_tile,) if cpu_tile is not None else self.mp_tile_candidates(instance)
+        return min(model.mp_parallel_time(instance, tile, workers) for tile in tiles)
+
+    def best_workers(
+        self,
+        instance: InputParams,
+        cpu_tile: int | None = None,
+        cost_model: CostModel | None = None,
+    ) -> int:
+        """Worker count minimising the multicore backend's predicted runtime.
+
+        Resolved through :meth:`repro.hardware.costmodel.CostModel.mp_parallel_time`,
+        whose parallel-efficiency term penalises worker counts the tile
+        wavefront cannot keep busy.  With ``cpu_tile=None`` (the default)
+        the tile side is co-optimised over :meth:`mp_tile_candidates` —
+        the backend deploys with its own coarse tile, not the cache tile
+        the learned models pick for the scalar phases.
+        """
+        model = cost_model if cost_model is not None else CostModel(self.system)
+        return min(
+            self.worker_counts,
+            key=lambda w: self._mp_time(model, instance, cpu_tile, w),
+        )
+
+    def best_cpu_backend(
+        self,
+        instance: InputParams,
+        cpu_tile: int | None = None,
+        cost_model: CostModel | None = None,
+    ) -> tuple[str, int]:
+        """Cheapest CPU backend for ``instance`` and its worker count.
+
+        Returns ``(backend, workers)``; ``workers`` is 1 for the single-core
+        engines and :meth:`best_workers` for ``mp-parallel``.  As in
+        :meth:`best_workers`, ``cpu_tile=None`` co-optimises the multicore
+        backend's tile side.
+        """
+        model = cost_model if cost_model is not None else CostModel(self.system)
+        workers = self.best_workers(instance, cpu_tile, model)
+
+        def runtime(backend: str) -> float:
+            if backend == "mp-parallel":
+                return self._mp_time(model, instance, cpu_tile, workers)
+            return model.engine_time(backend, instance)
+
+        best = min(self.cpu_backends, key=runtime)
+        return best, (workers if best == "mp-parallel" else 1)
+
     def instances(self) -> Iterator[InputParams]:
         """All (dim, tsize, dsize) instances of the space."""
         return self.space.instances()
@@ -80,5 +183,7 @@ class SearchSpace:
         info["system"] = self.system.name
         info["max_gpus"] = self.max_gpus
         info["engines"] = list(self.engines)
+        info["cpu_backends"] = list(self.cpu_backends)
+        info["worker_counts"] = list(self.worker_counts)
         info["size_estimate"] = self.size_estimate()
         return info

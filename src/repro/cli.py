@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeats", type=int, default=3, help="timed repetitions per pair (best is kept)")
     bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the mp-parallel backend (default: "
+        "auto-detect, with a single-core fallback when fewer than two "
+        "cores are available)",
+    )
+    bench.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -211,6 +219,10 @@ def _bench_tunables(executor: str, dim: int, max_gpus: int) -> TunableParams | N
         return TunableParams()
     if executor == "cpu-parallel":
         return TunableParams(cpu_tile=8)
+    if executor == "mp-parallel":
+        # Coarse tiles amortise the per-tile pool dispatch while still
+        # exposing enough tile-parallelism across a wave.
+        return TunableParams(cpu_tile=max(32, dim // 8))
     if executor == "gpu-only-single":
         if max_gpus < 1:
             return None
@@ -267,7 +279,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             tunables = _bench_tunables(executor_name, args.dim, system.max_usable_gpus)
             if tunables is None:
                 continue
-            executor = get_executor(executor_name, system)
+            kwargs = {}
+            if executor_name == "mp-parallel" and args.workers is not None:
+                kwargs["workers"] = args.workers
+            executor = get_executor(executor_name, system, **kwargs)
             walls = []
             result = None
             for _ in range(args.repeats):
@@ -291,6 +306,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     "cells": problem.input_params().cells,
                     "speedup_vs_serial": speedup,
                     "matches_serial": matches,
+                    "workers": result.stats.get("workers"),
                 }
             )
             speedup_text = f"{speedup:9.2f}x" if speedup else f"{'n/a':>10}"

@@ -163,6 +163,22 @@ class WavefrontProblem:
         """Features presented to the autotuner for this problem."""
         return self.input_params().features()
 
+    def __getstate__(self) -> dict:
+        """Pickle without process-local caches.
+
+        Runtime layers memoise derived state on the problem under
+        ``_cached_*`` attributes (e.g. the vectorized sweep engine, whose
+        fused evaluators are closures and unpicklable).  Those caches are
+        meaningless in another process — the multicore backend ships
+        problems to pool workers under spawn start methods — so they are
+        dropped here and rebuilt lazily on the receiving side.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_cached_")
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WavefrontProblem(name={self.name!r}, dim={self.dim}, "

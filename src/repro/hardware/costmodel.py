@@ -32,7 +32,7 @@ from repro.core.exceptions import InvalidParameterError
 from repro.core.params import InputParams, TunableParams
 from repro.core.partition import count_halo_swaps, halo_swap_nbytes
 from repro.core.plan import ThreePhasePlan
-from repro.core.tiling import triangular_tile_waves
+from repro.core.tiling import TileDecomposition, triangular_tile_waves
 from repro.hardware.system import SystemSpec
 
 
@@ -82,6 +82,12 @@ class CostConstants:
     cpu_vector_speedup: float = 6.0
     #: Per-diagonal batch dispatch overhead of the vectorized engine.
     vector_diag_overhead_us: float = 2.0
+    #: Per-tile dispatch cost of the shared-memory process pool (submitting
+    #: the tile descriptor, collecting the result, barrier bookkeeping).
+    mp_task_overhead_us: float = 60.0
+    #: One-off cost of starting (forking + initialising) one pool worker,
+    #: including its per-worker engine precompute.
+    mp_worker_startup_s: float = 0.02
 
     def cache_factor(self, tile: int) -> float:
         """Relative per-cell cost of the CPU phases for a given tile size.
@@ -236,6 +242,65 @@ class CostModel:
         return self.cpu_region_time(
             params, params.n_diagonals, params.cells, cpu_tile
         )
+
+    # ------------------------------------------------------------------
+    # The shared-memory multicore backend (``mp-parallel``)
+    # ------------------------------------------------------------------
+    def mp_parallel_efficiency(self, params: InputParams, cpu_tile: int, workers: int) -> float:
+        """Load-balance efficiency of the tile wavefront on ``workers`` cores.
+
+        The ratio of ideal to critical-path tile rounds
+        (:meth:`repro.core.tiling.TileDecomposition.parallel_efficiency`):
+        1.0 means every wave keeps all workers busy; small grids or large
+        tiles expose fewer independent tiles than workers on the early/late
+        tile-diagonals and push it below 1.
+        """
+        tile = max(1, min(cpu_tile, params.dim))
+        decomp = TileDecomposition(params.dim, params.dim, tile)
+        return decomp.parallel_efficiency(workers)
+
+    def mp_parallel_time(self, params: InputParams, cpu_tile: int, workers: int) -> float:
+        """Shared-memory multicore backend: tiled-vectorized tiles on real cores.
+
+        Each tile is swept with the tile-local strided-diagonal engine (so
+        per-cell work is the vectorized rate plus per-local-diagonal batch
+        overhead) and pays one pool dispatch; the critical path is the ideal
+        per-worker share divided by the wavefront's parallel-efficiency
+        term, plus the one-off worker start-up.  With fewer than two workers
+        this degrades to the single-core vectorized engine, mirroring the
+        functional backend's graceful fallback.
+        """
+        workers = max(1, int(workers))
+        if workers < 2:
+            return self.vectorized_time(params)
+        c = self.constants
+        tile = max(1, min(cpu_tile, params.dim))
+        decomp = TileDecomposition(params.dim, params.dim, tile)
+        point = self.cpu_point_time(params) / c.cpu_vector_speedup
+        tile_time = (
+            tile * tile * point
+            + (2 * tile - 1) * c.vector_diag_overhead_us * 1e-6
+            + c.mp_task_overhead_us * 1e-6
+        )
+        efficiency = max(decomp.parallel_efficiency(workers), 1e-9)
+        ideal_rounds = decomp.n_tiles / workers
+        startup = c.mp_worker_startup_s * workers
+        return startup + (ideal_rounds / efficiency) * tile_time
+
+    def cpu_backend_time(
+        self,
+        backend: str,
+        params: InputParams,
+        cpu_tile: int = 8,
+        workers: int | None = None,
+    ) -> float:
+        """Runtime of one CPU backend by registry name (single- or multicore)."""
+        if backend == "mp-parallel":
+            effective = workers if workers is not None else self.system.cpu.workers
+            return self.mp_parallel_time(params, cpu_tile, effective)
+        if backend == "cpu-parallel":
+            return self.cpu_parallel_time(params, cpu_tile)
+        return self.engine_time(backend, params)
 
     # ------------------------------------------------------------------
     # GPU band phase

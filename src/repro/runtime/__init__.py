@@ -30,9 +30,17 @@ from repro.runtime.vectorized import (
     DiagonalSweepEngine,
     VectorizedSerialExecutor,
     compute_diagonal_range_vectorized,
+    engine_for,
     numpy_available,
 )
 from repro.runtime.cpu_parallel import CPUParallelExecutor
+from repro.runtime.mp_parallel import (
+    MPParallelExecutor,
+    MPWavefrontPool,
+    TileSweeper,
+    resolve_worker_count,
+)
+from repro.runtime.shared_grid import SharedGridBuffer
 from repro.runtime.gpu_single import SingleGPUBandExecutor
 from repro.runtime.gpu_multi import MultiGPUBandExecutor
 from repro.runtime.hybrid import HybridExecutor
@@ -54,8 +62,14 @@ __all__ = [
     "VectorizedSerialExecutor",
     "DiagonalSweepEngine",
     "compute_diagonal_range_vectorized",
+    "engine_for",
     "numpy_available",
     "CPUParallelExecutor",
+    "MPParallelExecutor",
+    "MPWavefrontPool",
+    "TileSweeper",
+    "SharedGridBuffer",
+    "resolve_worker_count",
     "SingleGPUBandExecutor",
     "MultiGPUBandExecutor",
     "HybridExecutor",

@@ -18,6 +18,11 @@ class CPUParallelExecutor(Executor):
     Functionally the tile wavefront is executed wave by wave (optionally on a
     real thread pool); the simulated runtime is the cost model's
     :meth:`repro.hardware.costmodel.CostModel.cpu_parallel_time`.
+
+    The thread path is GIL-bound, so wall-clock never scales with cores —
+    this executor models the paper's scheme (b) and keeps the scalar tiled
+    access order.  For execution that really uses the cores, see the
+    shared-memory :class:`repro.runtime.mp_parallel.MPParallelExecutor`.
     """
 
     strategy = "cpu-parallel"

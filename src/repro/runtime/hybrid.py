@@ -31,22 +31,37 @@ class HybridExecutor(Executor):
     ``cpu_engine`` selects the backend of the CPU phases: ``"serial"`` (the
     default) follows the paper's tiled access order cell group by cell
     group, ``"vectorized"`` evaluates each diagonal of the CPU triangles as
-    one NumPy batch through :class:`repro.runtime.vectorized.DiagonalSweepEngine`.
-    Both produce identical grids; the vectorized engine is what the tuned
-    deployments use when NumPy is available.
+    one NumPy batch through :class:`repro.runtime.vectorized.DiagonalSweepEngine`,
+    and ``"mp"`` runs the tile wavefront of both CPU triangles on the
+    shared-memory worker-process pool of
+    :class:`repro.runtime.mp_parallel.MPWavefrontPool` (one persistent pool
+    serves phases 1 and 3; the GPU band phase in between writes into the
+    same shared view the workers read).  All produce identical grids; the
+    vectorized engine is what single-core tuned deployments use, the mp
+    engine what multicore hosts use.  ``workers`` only applies to
+    ``cpu_engine="mp"`` (``None`` auto-detects, with a single-core
+    fallback).
     """
 
     strategy = "hybrid"
 
-    def __init__(self, system, constants=None, cpu_engine: str = "serial") -> None:
+    def __init__(
+        self,
+        system,
+        constants=None,
+        cpu_engine: str = "serial",
+        workers: int | None = None,
+    ) -> None:
         super().__init__(system, constants)
-        if cpu_engine not in ("serial", "vectorized"):
+        if cpu_engine not in ("serial", "vectorized", "mp"):
             raise InvalidParameterError(
-                f"cpu_engine must be 'serial' or 'vectorized', got {cpu_engine!r}"
+                f"cpu_engine must be 'serial', 'vectorized' or 'mp', got {cpu_engine!r}"
             )
         self.cpu_engine = cpu_engine
+        self.workers = workers
         # Built once per functional run; shared by both CPU phases.
         self._sweep_engine = None
+        self._mp_pool = None
 
     def _breakdown(self, problem: WavefrontProblem, tunables: TunableParams) -> PhaseBreakdown:
         return self.cost_model.hybrid_breakdown(problem.input_params(), tunables)
@@ -63,28 +78,46 @@ class HybridExecutor(Executor):
 
         # One engine serves both CPU phases: its fused-evaluator precompute
         # (e.g. a dim x dim substitution grid) is O(dim^2) and must not be
-        # paid per phase.
+        # paid per phase.  The vectorized engine is additionally cached per
+        # problem, so repeated executions reuse it too.
         self._sweep_engine = None
+        self._mp_pool = None
         if self.cpu_engine == "vectorized":
-            from repro.runtime.vectorized import DiagonalSweepEngine
+            from repro.runtime.vectorized import engine_for
 
-            self._sweep_engine = DiagonalSweepEngine(problem)
+            self._sweep_engine = engine_for(problem)
+        elif self.cpu_engine == "mp":
+            from repro.runtime.mp_parallel import MPWavefrontPool, resolve_worker_count
 
-        # Phase 1: CPU tiles over the leading triangle.
-        cells_pre = self._compute_cpu_span(problem, grid, plan.pre.lo, plan.pre.hi, tunables)
-        stats["phase1_cells"] = cells_pre
+            self._mp_pool = MPWavefrontPool(
+                problem,
+                grid,
+                tunables.cpu_tile,
+                resolve_worker_count(self.workers, self.system),
+            )
+            stats["cpu_workers"] = self._mp_pool.workers
 
-        # Phase 2: the GPU band.
-        if not plan.gpu.is_empty:
-            with DeviceContext(self.system, tunables.gpu_count) as context:
-                runner = BandRunner(problem, grid, plan, tunables, context)
-                band_stats = runner.run()
-                stats.update(band_stats)
-                stats.update(context.log.summary())
+        try:
+            # Phase 1: CPU tiles over the leading triangle.
+            cells_pre = self._compute_cpu_span(problem, grid, plan.pre.lo, plan.pre.hi, tunables)
+            stats["phase1_cells"] = cells_pre
 
-        # Phase 3: CPU tiles over the trailing triangle.
-        cells_post = self._compute_cpu_span(problem, grid, plan.post.lo, plan.post.hi, tunables)
-        stats["phase3_cells"] = cells_post
+            # Phase 2: the GPU band.  With the mp engine, grid.values is the
+            # shared view, so band results land where the workers read.
+            if not plan.gpu.is_empty:
+                with DeviceContext(self.system, tunables.gpu_count) as context:
+                    runner = BandRunner(problem, grid, plan, tunables, context)
+                    band_stats = runner.run()
+                    stats.update(band_stats)
+                    stats.update(context.log.summary())
+
+            # Phase 3: CPU tiles over the trailing triangle.
+            cells_post = self._compute_cpu_span(problem, grid, plan.post.lo, plan.post.hi, tunables)
+            stats["phase3_cells"] = cells_post
+        finally:
+            if self._mp_pool is not None:
+                self._mp_pool.close()
+                self._mp_pool = None
         return grid, stats
 
     def _compute_cpu_span(
@@ -105,6 +138,9 @@ class HybridExecutor(Executor):
         """
         if d_hi < d_lo:
             return 0
+        if self._mp_pool is not None:
+            _, cells = self._mp_pool.run_range(d_lo, d_hi)
+            return cells
         if self._sweep_engine is not None:
             return self._sweep_engine.sweep(grid, d_lo, d_hi)
         decomp = TileDecomposition(problem.dim, problem.dim, tunables.cpu_tile)

@@ -20,6 +20,7 @@ from repro.runtime.executor_base import Executor
 from repro.runtime.gpu_multi import MultiGPUBandExecutor
 from repro.runtime.gpu_single import SingleGPUBandExecutor
 from repro.runtime.hybrid import HybridExecutor
+from repro.runtime.mp_parallel import MPParallelExecutor
 from repro.runtime.serial import SerialExecutor
 from repro.runtime.vectorized import VectorizedSerialExecutor, numpy_available
 
@@ -28,6 +29,7 @@ EXECUTORS: dict[str, type[Executor]] = {
     SerialExecutor.strategy: SerialExecutor,
     VectorizedSerialExecutor.strategy: VectorizedSerialExecutor,
     CPUParallelExecutor.strategy: CPUParallelExecutor,
+    MPParallelExecutor.strategy: MPParallelExecutor,
     SingleGPUBandExecutor.strategy: SingleGPUBandExecutor,
     MultiGPUBandExecutor.strategy: MultiGPUBandExecutor,
     HybridExecutor.strategy: HybridExecutor,

@@ -3,12 +3,16 @@
 The tiled CPU phases execute the tile wavefront: within one tile-diagonal all
 tiles are independent and are distributed over the worker pool; tile-diagonals
 are separated by a barrier.  :class:`TileScheduler` produces that schedule as
-data so both the functional executor and the tests can inspect it, and
-:func:`run_schedule` executes it either sequentially or on a thread pool.
+data so both the functional executors and the tests can inspect it, and
+:func:`run_schedule` executes it sequentially, on a thread pool, or on any
+persistent :class:`concurrent.futures.Executor` — the multicore backend
+(:mod:`repro.runtime.mp_parallel`) passes its worker-process pool so each
+wave fans its tiles across real cores with a barrier per tile-diagonal.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Executor as FuturesExecutor
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -26,6 +30,17 @@ class ScheduledTile:
     tile: Tile
 
 
+def tile_intersects_range(tile: Tile, d_lo: int, d_hi: int) -> bool:
+    """True when ``tile`` contains at least one cell on diagonals ``[d_lo, d_hi]``.
+
+    A tile's cells span the cell anti-diagonals ``row_start + col_start``
+    through ``(row_stop - 1) + (col_stop - 1)`` inclusive.
+    """
+    first = tile.row_start + tile.col_start
+    last = (tile.row_stop - 1) + (tile.col_stop - 1)
+    return first <= d_hi and last >= d_lo
+
+
 class TileScheduler:
     """Round-robin assignment of the tile wavefront to ``workers`` workers."""
 
@@ -35,10 +50,23 @@ class TileScheduler:
         self.decomposition = decomposition
         self.workers = workers
 
-    def waves(self) -> list[list[ScheduledTile]]:
-        """The full schedule: one list of assignments per tile-diagonal."""
+    def waves(self, d_lo: int | None = None, d_hi: int | None = None) -> list[list[ScheduledTile]]:
+        """The full schedule: one list of assignments per tile-diagonal.
+
+        With ``d_lo`` / ``d_hi`` the schedule is clipped to the tiles that
+        contain at least one cell on the cell diagonals ``[d_lo, d_hi]`` (the
+        hybrid executor's CPU phases sweep such partial ranges); waves left
+        empty by the clipping are dropped, so no barrier is paid for them.
+        """
+        clip = d_lo is not None or d_hi is not None
+        lo = 0 if d_lo is None else d_lo
+        hi = (self.decomposition.rows + self.decomposition.cols - 2) if d_hi is None else d_hi
         schedule: list[list[ScheduledTile]] = []
         for wave_index, tiles in enumerate(self.decomposition.schedule()):
+            if clip:
+                tiles = [tile for tile in tiles if tile_intersects_range(tile, lo, hi)]
+                if not tiles:
+                    continue
             assignments = [
                 ScheduledTile(wave=wave_index, worker=idx % self.workers, tile=tile)
                 for idx, tile in enumerate(tiles)
@@ -65,26 +93,52 @@ def run_schedule(
     tile_fn: Callable[[Tile], object],
     use_threads: bool = False,
     max_workers: int | None = None,
+    pool: FuturesExecutor | None = None,
+    collect: Callable[[object], None] | None = None,
 ) -> int:
     """Execute a tile schedule; returns the number of tiles executed.
 
-    With ``use_threads`` the tiles of each wave are submitted to a thread
-    pool (the dependency structure makes them safe to run concurrently);
-    otherwise they run sequentially in schedule order, which is faster for
-    the small grids used in tests because the kernels are NumPy-bound.
+    Three execution paths share the same wave-barrier structure:
+
+    * ``pool`` — submit every wave's tiles to an existing
+      :class:`concurrent.futures.Executor` and barrier on the futures.  This
+      is how the multicore backend drives its persistent process pool;
+      ``tile_fn`` (and each :class:`~repro.core.tiling.Tile`) must then be
+      picklable.
+    * ``use_threads`` — same, on a transient thread pool (GIL-bound; kept
+      for kernels that release the GIL).
+    * default — sequential in schedule order, which is fastest for the small
+      grids used in tests because the kernels are NumPy-bound.
+
+    ``collect`` receives each tile's return value (e.g. its cell count) in
+    completion order within a wave.
     """
     executed = 0
-    if not use_threads:
-        for wave in waves:
-            for item in wave:
-                tile_fn(item.tile)
-                executed += 1
-        return executed
-
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+    if pool is not None:
         for wave in waves:
             futures = [pool.submit(tile_fn, item.tile) for item in wave]
             for future in futures:
-                future.result()
+                result = future.result()
+                if collect is not None:
+                    collect(result)
+            executed += len(futures)
+        return executed
+
+    if not use_threads:
+        for wave in waves:
+            for item in wave:
+                result = tile_fn(item.tile)
+                if collect is not None:
+                    collect(result)
+                executed += 1
+        return executed
+
+    with ThreadPoolExecutor(max_workers=max_workers) as thread_pool:
+        for wave in waves:
+            futures = [thread_pool.submit(tile_fn, item.tile) for item in wave]
+            for future in futures:
+                result = future.result()
+                if collect is not None:
+                    collect(result)
             executed += len(futures)
     return executed

@@ -1,0 +1,147 @@
+"""Shared-memory backing for the wavefront value grid.
+
+The multicore backend (:mod:`repro.runtime.mp_parallel`) needs every worker
+process to read and write the *same* grid without serialising tiles over
+pipes.  :class:`SharedGridBuffer` places the ``dim x dim`` value array in a
+POSIX shared-memory segment (:mod:`multiprocessing.shared_memory`) and wraps
+it as a zero-copy NumPy view:
+
+* the parent **creates** the segment, copies the grid values in and swaps
+  the :class:`repro.core.grid.WavefrontGrid`'s ``values`` array for the
+  shared view, so the band runner and any in-process sweeps write straight
+  into shared memory;
+* each worker **attaches** by name during pool initialisation and keeps a
+  flattened view for the strided-diagonal tile sweeps — tile results are
+  never pickled, only tiny tile descriptors travel between processes.
+
+Ownership is explicit: only the creating side may :meth:`unlink` the
+segment; attachers merely :meth:`close` their mapping.  Attaching
+deliberately opts out of the resource tracker (``track=False`` where
+available, unregistering otherwise) so worker exits do not tear down or
+double-free a segment the parent still owns.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+
+
+class SharedGridBuffer:
+    """A ``dim x dim`` float array in shared memory with a zero-copy view.
+
+    Use the :meth:`create` / :meth:`attach` constructors rather than
+    instantiating directly; the buffer is also a context manager that closes
+    (and, for the owner, unlinks) the segment on exit.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, dim: int, dtype, owner: bool) -> None:
+        self._shm = shm
+        self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        self.owner = bool(owner)
+        self._values: np.ndarray | None = np.ndarray(
+            (self.dim, self.dim), dtype=self.dtype, buffer=shm.buf
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, dim: int, dtype=np.float64) -> "SharedGridBuffer":
+        """Allocate a new zero-initialised shared segment (caller owns it)."""
+        if dim < 2:
+            raise InvalidParameterError(f"dim must be >= 2, got {dim}")
+        nbytes = int(dim) * int(dim) * np.dtype(dtype).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        buffer = cls(shm, dim, dtype, owner=True)
+        buffer.values[...] = 0.0
+        return buffer
+
+    @classmethod
+    def attach(cls, name: str, dim: int, dtype=np.float64) -> "SharedGridBuffer":
+        """Map an existing segment by name (non-owning, e.g. in a worker)."""
+        try:
+            # Python >= 3.13: opt out of the per-process resource tracker.
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            shm = _attach_untracked(name)
+        return cls(shm, dim, dtype, owner=False)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """System-wide segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def values(self) -> np.ndarray:
+        """The zero-copy ``(dim, dim)`` view of the segment."""
+        if self._values is None:
+            raise InvalidParameterError("shared grid buffer is closed")
+        return self._values
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the value array backed by the segment."""
+        return self.dim * self.dim * self.dtype.itemsize
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (the view becomes unusable)."""
+        if self._values is not None:
+            # The memoryview exported to NumPy must be released before the
+            # mapping can close without raising BufferError.
+            self._values = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner only)."""
+        if not self.owner:
+            raise InvalidParameterError(
+                "only the creating process may unlink a shared grid buffer"
+            )
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedGridBuffer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._values is None else "open"
+        return (
+            f"SharedGridBuffer(name={self.name!r}, dim={self.dim}, "
+            f"owner={self.owner}, {state})"
+        )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering it with the resource tracker.
+
+    On Python < 3.13 attaching always registers, which is wrong for a
+    non-owner: the tracker's cache is shared between forked processes, so a
+    worker's registration/unregistration pair deletes the *parent's* entry
+    (KeyError on unlink), and under spawn a worker's tracker would unlink a
+    segment the parent still owns at worker exit.  Suppressing registration
+    during construction sidesteps both; the owning side stays registered
+    and keeps the crash-cleanup guarantee.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -33,6 +33,7 @@ from repro.core.exceptions import KernelError
 from repro.core.grid import WavefrontGrid
 from repro.core.params import TunableParams
 from repro.core.pattern import WavefrontProblem
+from repro.core.tiling import Tile, TileDecomposition
 from repro.hardware.costmodel import PhaseBreakdown
 from repro.runtime.executor_base import Executor
 
@@ -55,6 +56,144 @@ def numpy_available() -> bool:
     return _HAS_NUMPY
 
 
+class TileSweeper:
+    """Strided-diagonal sweep of one rectangular region of the grid.
+
+    The workhorse shared by the whole-grid engine and the multicore
+    backend's worker processes: a region's local anti-diagonals are
+    arithmetic sequences of stride ``dim - 1`` in the flattened grid, so
+    the sweep reads and writes them through zero-copy views, and the west /
+    north / north-west neighbours are the same views shifted by one flat
+    position — even when they live outside the region (in an
+    already-computed neighbouring tile).  Boundary patches (grid row 0 /
+    column 0) touch at most the two end elements of a local diagonal.
+
+    One sweeper serves any number of tiles of its problem; building it pays
+    the kernel's fused-evaluator precompute exactly once, which is why both
+    the per-problem engine cache (:func:`engine_for`) and the worker pool's
+    per-process cache hold on to one.
+    """
+
+    def __init__(self, problem: WavefrontProblem) -> None:
+        if not _HAS_NUMPY:
+            raise KernelError("the vectorized engine requires NumPy")
+        self.problem = problem
+        self.kernel = problem.kernel
+        self.dim = problem.dim
+        self.boundary = float(problem.boundary)
+        self._evaluator = self.kernel.make_diagonal_evaluator(self.dim, self.boundary)
+        # Scratch for boundary-patched neighbour assembly (worst case: the
+        # longest diagonal of a whole-grid region).
+        self._west = np.empty(self.dim)
+        self._north = np.empty(self.dim)
+        self._nw = np.empty(self.dim)
+
+    @property
+    def fused(self) -> bool:
+        """True when the kernel supplied a fused diagonal evaluator."""
+        return self._evaluator is not None
+
+    def sweep_tile(
+        self,
+        flat: np.ndarray,
+        tile: Tile,
+        d_lo: int = 0,
+        d_hi: int | None = None,
+        check: bool = True,
+    ) -> int:
+        """Compute ``tile``'s cells on diagonals ``[d_lo, d_hi]``; returns cells.
+
+        ``flat`` is the flattened ``dim * dim`` value array.  All cells of
+        the tile's west / north / north-west neighbour tiles on earlier
+        diagonals, and all cells before ``d_lo``, must already hold final
+        values (the tile-wavefront + range contract).  With ``check`` each
+        diagonal's output is validated for finiteness as it is produced
+        (what the pool workers use); callers that batch the check over the
+        whole range — the engine — pass ``check=False``.
+        """
+        dim = self.dim
+        stride = dim - 1
+        boundary = self.boundary
+        evaluator = self._evaluator
+        r0, r1 = tile.row_start, tile.row_stop
+        c0, c1 = tile.col_start, tile.col_stop
+        first = r0 + c0
+        last = (r1 - 1) + (c1 - 1)
+        if d_hi is None:
+            d_hi = last
+        total = 0
+        for d in range(max(first, d_lo), min(last, d_hi) + 1):
+            i_min = max(r0, d - (c1 - 1))
+            i_max = min(r1 - 1, d - c0)
+            m = i_max - i_min + 1
+            # Cell (i, d - i) sits at flat index i * dim + (d - i); the local
+            # diagonal is the stride-(dim-1) sequence from rows i_min..i_max.
+            start = i_min * dim + (d - i_min)
+            end = start + (m - 1) * stride
+            out = flat[start : end + 1 : stride]
+            j_min = d - i_max
+
+            if i_min > 0 and j_min > 0:
+                # Interior: every neighbour exists, west/north/north-west are
+                # the same strided sequence shifted by 1 / dim / dim + 1.
+                west = flat[start - 1 : end : stride]
+                north = flat[start - dim : end - dim + 1 : stride]
+                nw = flat[start - dim - 1 : end - dim : stride]
+            else:
+                # The region touches grid row 0 and/or column 0: assemble
+                # the neighbours in scratch, patching the out-of-grid
+                # elements (at most the first and last of each array) with
+                # the boundary value.
+                west = self._west[:m]
+                north = self._north[:m]
+                nw = self._nw[:m]
+                w_hi = m - 1 if j_min == 0 else m  # valid west entries
+                n_lo = 1 if i_min == 0 else 0  # first valid north entry
+                if j_min == 0:
+                    west[m - 1] = boundary
+                    nw[m - 1] = boundary
+                if i_min == 0:
+                    north[0] = boundary
+                    nw[0] = boundary
+                if w_hi > 0:
+                    west[:w_hi] = flat[start - 1 : start - 1 + (w_hi - 1) * stride + 1 : stride]
+                if n_lo < m:
+                    base = start - dim + n_lo * stride
+                    north[n_lo:] = flat[base : start - dim + (m - 1) * stride + 1 : stride]
+                nw_hi = m - 2 if j_min == 0 else m - 1
+                if n_lo <= nw_hi:
+                    base = start - dim - 1 + n_lo * stride
+                    nw[n_lo : nw_hi + 1] = flat[base : start - dim - 1 + nw_hi * stride + 1 : stride]
+
+            if evaluator is not None:
+                evaluator(d, i_min, i_max, west, north, nw, out)
+            else:
+                i = np.arange(i_min, i_max + 1, dtype=np.int64)
+                values = np.asarray(self.kernel.diagonal(i, d - i, west, north, nw), dtype=float)
+                if values.ndim != 1 or values.shape[0] != m:
+                    raise KernelError(
+                        f"kernel {self.kernel.name!r} returned shape {values.shape}, "
+                        f"expected ({m},)"
+                    )
+                out[:] = values
+            if check and not np.all(np.isfinite(out)):
+                raise KernelError(
+                    f"kernel {self.kernel.name!r} produced non-finite values "
+                    f"on diagonal {d} of tile ({tile.tile_row}, {tile.tile_col})"
+                )
+            total += m
+        return total
+
+    def sweep_grid(self, grid: WavefrontGrid, decomposition: TileDecomposition) -> int:
+        """In-process sweep of a whole tile schedule (reference/testing path)."""
+        flat = grid.values.reshape(-1)
+        total = 0
+        for tiles in decomposition.schedule():
+            for tile in tiles:
+                total += self.sweep_tile(flat, tile)
+        return total
+
+
 class DiagonalSweepEngine:
     """Batched anti-diagonal sweep of one wavefront problem.
 
@@ -63,7 +202,9 @@ class DiagonalSweepEngine:
     Neighbour values are read from the grid itself through strided diagonal
     views, which makes a mid-grid range (``d_lo > 0``) correct by
     construction — exactly what the hybrid executor's trailing CPU phase
-    needs.
+    needs.  The sweep itself is the whole-grid special case of
+    :class:`TileSweeper`, with the finiteness check batched over the range
+    instead of per diagonal.
     """
 
     def __init__(self, problem: WavefrontProblem) -> None:
@@ -72,17 +213,16 @@ class DiagonalSweepEngine:
         self.problem = problem
         self.kernel = problem.kernel
         self.boundary = float(problem.boundary)
+        self._sweeper = TileSweeper(problem)
         dim = problem.dim
-        self._evaluator = self.kernel.make_diagonal_evaluator(dim, self.boundary)
-        # Index views for the generic (non-fused) kernel path: i ascending,
-        # j descending, both sliced per diagonal without allocation.
-        self._rows = np.arange(dim, dtype=np.int64)
-        self._jdesc = np.arange(2 * dim - 2, -1, -1, dtype=np.int64)
-        # Scratch used to assemble boundary-padded neighbours on the growing
-        # half of the sweep (at most two boundary elements per diagonal).
-        self._west = np.empty(dim)
-        self._north = np.empty(dim)
-        self._nw = np.empty(dim)
+        self._grid_tile = Tile(
+            tile_row=0, tile_col=0, row_start=0, row_stop=dim, col_start=0, col_stop=dim
+        )
+
+    @property
+    def _evaluator(self):
+        """The kernel's fused evaluator, if any (``None`` -> generic path)."""
+        return self._sweeper._evaluator
 
     # ------------------------------------------------------------------
     def sweep(self, grid: WavefrontGrid, d_lo: int = 0, d_hi: int | None = None) -> int:
@@ -102,90 +242,67 @@ class DiagonalSweepEngine:
             raise KernelError(
                 f"diagonal range [{d_lo}, {d_hi}] out of bounds for dim={dim}"
             )
-
-        flat = grid.values.reshape(-1)
-        boundary = self.boundary
-        evaluator = self._evaluator
-        kernel = self.kernel
-        stride = dim - 1
-        total = 0
-        for d in range(d_lo, d_hi + 1):
-            if d < dim:
-                i_min, i_max = 0, d
-            else:
-                i_min, i_max = d - dim + 1, dim - 1
-            m = i_max - i_min + 1
-            # Inlined flat_diagonal_slice(d, dim): cell (i, d - i) sits at
-            # flat index d + i * (dim - 1).
-            start = i_min * dim + d - i_min
-            out = flat[start : start + (m - 1) * stride + 1 : stride]
-
-            if d >= dim:
-                # Shrinking half: every neighbour is an interior cell, so
-                # west is the same-rows slice of diagonal d-1 (one flat
-                # position to the left), north the rows-above slice, and
-                # north-west the rows-above slice of diagonal d-2.
-                west = flat[start - 1 : start + (m - 1) * stride : stride]
-                north = flat[start - dim : start + (m - 1) * stride - 1 : stride]
-                nw = flat[start - dim - 1 : start + (m - 1) * stride - 2 : stride]
-            else:
-                # Growing half: rows 0 .. d.  The first row has no north /
-                # north-west neighbour and the last row (column 0) has no
-                # west / north-west neighbour; everything else is interior.
-                west = self._west[:m]
-                north = self._north[:m]
-                nw = self._nw[:m]
-                west[m - 1] = boundary
-                north[0] = boundary
-                nw[0] = boundary
-                nw[m - 1] = boundary
-                if d >= 1:
-                    prev = flat[dg.flat_diagonal_slice(d - 1, dim)]
-                    west[: m - 1] = prev
-                    north[1:] = prev
-                if d >= 2:
-                    nw[1 : m - 1] = flat[dg.flat_diagonal_slice(d - 2, dim)]
-
-            if evaluator is not None:
-                evaluator(d, i_min, i_max, west, north, nw, out)
-            else:
-                i = self._rows[i_min : i_max + 1]
-                # self._jdesc[k] = 2*dim - 2 - k, so the slice below runs
-                # j = d - i_min down to d - i_max, matching i.
-                k0 = 2 * dim - 2 - (d - i_min)
-                j = self._jdesc[k0 : k0 + m]
-                values = kernel.diagonal(i, j, west, north, nw)
-                values = np.asarray(values, dtype=float)
-                if values.ndim != 1 or values.shape[0] != m:
-                    raise KernelError(
-                        f"kernel {kernel.name!r} returned shape {values.shape}, "
-                        f"expected ({m},)"
-                    )
-                out[:] = values
-            total += m
-
+        total = self._sweeper.sweep_tile(
+            grid.values.reshape(-1), self._grid_tile, d_lo, d_hi, check=False
+        )
         self._check_finite(grid, d_lo, d_hi)
         return total
 
     def _check_finite(self, grid: WavefrontGrid, d_lo: int, d_hi: int) -> None:
-        """One batched finiteness check for the whole range.
+        """Finiteness check over exactly the diagonals the sweep computed.
 
-        The scalar path validates every diagonal individually; doing it once
-        at the end keeps the per-diagonal loop lean without weakening the
-        guarantee that non-finite kernel output raises :class:`KernelError`.
+        The scalar path validates every diagonal as it is produced; doing it
+        once at the end keeps the per-diagonal loop lean without weakening
+        the guarantee that non-finite kernel output raises
+        :class:`KernelError`.  A full-grid sweep is one whole-array check;
+        a sub-range scans only its own diagonals, so the cost is
+        proportional to the cells computed and values elsewhere (e.g. a
+        band the GPU phase has not filled yet) are none of this sweep's
+        business.
         """
-        if not np.all(np.isfinite(grid.values)):
-            raise KernelError(
-                f"kernel {self.kernel.name!r} produced non-finite values "
-                f"in diagonals [{d_lo}, {d_hi}]"
-            )
+        if d_lo <= 0 and d_hi >= 2 * grid.dim - 2:
+            if not np.all(np.isfinite(grid.values)):
+                raise KernelError(
+                    f"kernel {self.kernel.name!r} produced non-finite values "
+                    f"in diagonals [{d_lo}, {d_hi}]"
+                )
+            return
+        flat = grid.values.reshape(-1)
+        for d in range(d_lo, d_hi + 1):
+            view = flat[dg.flat_diagonal_slice(d, grid.dim)]
+            if not np.all(np.isfinite(view)):
+                raise KernelError(
+                    f"kernel {self.kernel.name!r} produced non-finite values "
+                    f"on diagonal {d} of range [{d_lo}, {d_hi}]"
+                )
+
+
+#: Attribute the per-problem engine cache lives under.  Caching *on* the
+#: problem (rather than in a module-level map) ties the engine's lifetime to
+#: the problem's: no registry to invalidate, nothing kept alive after the
+#: problem is garbage collected.
+_ENGINE_ATTR = "_cached_sweep_engine"
+
+
+def engine_for(problem: WavefrontProblem) -> DiagonalSweepEngine:
+    """The cached :class:`DiagonalSweepEngine` of ``problem`` (built once).
+
+    Repeated range calls (the hybrid executor's CPU phases, incremental
+    sweeps) reuse one engine, so the O(dim^2) fused-evaluator precompute is
+    paid once per problem instead of once per call.
+    """
+    engine = getattr(problem, _ENGINE_ATTR, None)
+    if engine is None or engine.problem is not problem:
+        engine = DiagonalSweepEngine(problem)
+        setattr(problem, _ENGINE_ATTR, engine)
+    return engine
 
 
 def compute_diagonal_range_vectorized(
     problem: WavefrontProblem, grid: WavefrontGrid, d_lo: int, d_hi: int
 ) -> int:
     """Vectorized counterpart of :func:`repro.runtime.compute.compute_diagonal_range`."""
-    return DiagonalSweepEngine(problem).sweep(grid, d_lo, d_hi)
+    return engine_for(problem).sweep(grid, d_lo, d_hi)
 
 
 class VectorizedSerialExecutor(Executor):
@@ -208,7 +325,7 @@ class VectorizedSerialExecutor(Executor):
         self, problem: WavefrontProblem, tunables: TunableParams
     ) -> tuple[WavefrontGrid, dict]:
         grid = problem.make_grid()
-        engine = DiagonalSweepEngine(problem)
+        engine = engine_for(problem)
         cells = engine.sweep(grid)
         return grid, {
             "cells_computed": cells,

@@ -1,0 +1,277 @@
+"""Tests for the shared-memory multicore backend (`mp-parallel`).
+
+The acceptance property is cell-for-cell equality with the serial reference
+for every registered application at several worker counts — including real
+worker-process pools, which are exercised here even on single-core hosts by
+forcing an explicit ``workers`` count.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import available_applications, get_application
+from repro.core.exceptions import InvalidParameterError, KernelError
+from repro.core.params import InputParams, TunableParams
+from repro.core.pattern import FunctionKernel, WavefrontProblem
+from repro.core.tiling import TileDecomposition
+from repro.runtime import (
+    HybridExecutor,
+    MPParallelExecutor,
+    MPWavefrontPool,
+    SerialExecutor,
+    SharedGridBuffer,
+    TileSweeper,
+    available_executors,
+    get_executor,
+    resolve_worker_count,
+)
+from repro.runtime.compute import compute_diagonal_range, reference_grid
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+#: Worker counts exercised against the serial reference.  Counts >= 2 run a
+#: real process pool regardless of the host's core count.
+WORKER_COUNTS = (1, 2, 3)
+
+
+class TestEquivalenceWithSerial:
+    """The acceptance property: identical grids to serial.py on every app."""
+
+    @pytest.mark.parametrize("app_name", available_applications())
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_serial_cell_for_cell(self, app_name, workers, i7_2600k):
+        dim = 21
+        problem = get_application(app_name, dim=dim).problem(dim)
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        result = MPParallelExecutor(i7_2600k, workers=workers).execute(
+            problem, TunableParams(cpu_tile=6)
+        )
+        assert np.array_equal(serial.grid.values, result.grid.values)
+        assert result.stats["cells_computed"] == dim * dim
+        assert result.stats["mode"] == ("process-pool" if workers >= 2 else "in-process")
+
+    @pytest.mark.parametrize("tile", [1, 3, 7, 64])
+    def test_tile_size_does_not_change_the_grid(self, tile, small_synthetic, i7_2600k):
+        serial = SerialExecutor(i7_2600k).execute(small_synthetic)
+        result = MPParallelExecutor(i7_2600k, workers=2).execute(
+            small_synthetic, TunableParams(cpu_tile=tile)
+        )
+        assert np.array_equal(serial.grid.values, result.grid.values)
+
+    def test_generic_kernel_without_fused_evaluator(self, i7_2600k):
+        # matrix-chain at an off-natural size has no fused evaluator, so the
+        # workers exercise the generic kernel.diagonal() tile path.
+        app = get_application("matrix-chain", dim=32)
+        problem = app.problem(20)
+        serial = SerialExecutor(i7_2600k).execute(problem)
+        result = MPParallelExecutor(i7_2600k, workers=2).execute(
+            problem, TunableParams(cpu_tile=6)
+        )
+        assert np.array_equal(serial.grid.values, result.grid.values)
+
+
+class TestWorkerResolution:
+    def test_explicit_workers_honoured(self, i7_2600k):
+        assert resolve_worker_count(3, i7_2600k) == 3
+        assert resolve_worker_count(0, i7_2600k) == 1
+
+    def test_auto_falls_back_on_single_core_hosts(self, i7_2600k, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_worker_count(None, i7_2600k) == 1
+
+    def test_auto_respects_platform_budget(self, i7_2600k, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 128)
+        assert resolve_worker_count(None, i7_2600k) == i7_2600k.cpu.workers
+
+    def test_single_core_fallback_runs_in_process(self, small_synthetic, i7_2600k, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        result = MPParallelExecutor(i7_2600k).execute(small_synthetic, TunableParams(cpu_tile=8))
+        assert result.stats["mode"] == "in-process"
+        assert result.stats["workers"] == 1
+        assert np.array_equal(reference_grid(small_synthetic).values, result.grid.values)
+
+
+class TestMPWavefrontPool:
+    def test_range_execution_continues_a_scalar_prefix(self, small_synthetic):
+        dim = small_synthetic.dim
+        split = dim + 3
+        reference = reference_grid(small_synthetic)
+
+        grid = small_synthetic.make_grid()
+        compute_diagonal_range(small_synthetic, grid, 0, split)
+        with MPWavefrontPool(small_synthetic, grid, tile=5, workers=2) as pool:
+            assert pool.is_multiprocess
+            _, cells = pool.run_range(split + 1, 2 * dim - 2)
+        assert cells > 0
+        assert np.array_equal(reference.values, grid.values)
+
+    def test_empty_range_is_noop(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        with MPWavefrontPool(small_synthetic, grid, tile=4, workers=1) as pool:
+            assert pool.run_range(5, 4) == (0, 0)
+        assert np.all(grid.values == 0.0)
+
+    def test_grid_restored_to_private_memory_after_close(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        original = grid.values
+        pool = MPWavefrontPool(small_synthetic, grid, tile=8, workers=2)
+        assert grid.values is not original  # shared view while the pool lives
+        pool.run_range(0, 2 * small_synthetic.dim - 2)
+        pool.close()
+        assert grid.values is original
+        assert np.array_equal(reference_grid(small_synthetic).values, grid.values)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="lambda kernels need fork inheritance")
+    def test_worker_kernel_error_propagates(self, i7_2600k):
+        kernel = FunctionKernel(
+            lambda i, j, w, n, nw: np.full(i.shape, np.inf), tsize=1.0, name="bad"
+        )
+        problem = WavefrontProblem(dim=12, kernel=kernel)
+        with pytest.raises(KernelError):
+            MPParallelExecutor(i7_2600k, workers=2).execute(problem, TunableParams(cpu_tile=4))
+
+
+class TestTileSweeper:
+    def test_whole_grid_single_tile_matches_reference(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        decomp = TileDecomposition(small_synthetic.dim, small_synthetic.dim, small_synthetic.dim)
+        cells = TileSweeper(small_synthetic).sweep_grid(grid, decomp)
+        assert cells == small_synthetic.dim**2
+        assert np.array_equal(reference_grid(small_synthetic).values, grid.values)
+
+    def test_fused_evaluator_used_where_available(self, small_synthetic):
+        assert TileSweeper(small_synthetic).fused is True
+
+    def test_clipped_tile_sweep_counts_only_range_cells(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        sweeper = TileSweeper(small_synthetic)
+        decomp = TileDecomposition(small_synthetic.dim, small_synthetic.dim, small_synthetic.dim)
+        tile = decomp.tile_at(0, 0)
+        # Diagonals 0..2 of the whole grid: 1 + 2 + 3 cells.
+        cells = sweeper.sweep_tile(grid.values.reshape(-1), tile, 0, 2)
+        assert cells == 6
+
+
+class TestSharedGridBuffer:
+    def test_create_attach_roundtrip(self):
+        with SharedGridBuffer.create(8) as owner:
+            owner.values[3, 4] = 42.0
+            attached = SharedGridBuffer.attach(owner.name, 8)
+            assert attached.values[3, 4] == 42.0
+            attached.values[0, 0] = -1.0
+            assert owner.values[0, 0] == -1.0  # same memory
+            attached.close()
+
+    def test_only_owner_may_unlink(self):
+        owner = SharedGridBuffer.create(4)
+        attached = SharedGridBuffer.attach(owner.name, 4)
+        with pytest.raises(InvalidParameterError):
+            attached.unlink()
+        attached.close()
+        owner.close()
+        owner.unlink()
+
+    def test_closed_buffer_rejects_access(self):
+        buffer = SharedGridBuffer.create(4)
+        buffer.close()
+        buffer.unlink()
+        with pytest.raises(InvalidParameterError):
+            _ = buffer.values
+
+
+class TestHybridMPEngine:
+    def test_hybrid_mp_engine_produces_identical_grid(self, small_synthetic, i7_2600k):
+        tunables = TunableParams.from_encoding(cpu_tile=4, band=6, halo=2, gpu_tile=4)
+        scalar = HybridExecutor(i7_2600k).execute(small_synthetic, tunables)
+        pooled = HybridExecutor(i7_2600k, cpu_engine="mp", workers=2).execute(
+            small_synthetic, tunables
+        )
+        assert np.array_equal(scalar.grid.values, pooled.grid.values)
+        assert pooled.stats["cpu_workers"] == 2
+
+    def test_hybrid_rejects_unknown_engine(self, i7_2600k):
+        with pytest.raises(InvalidParameterError):
+            HybridExecutor(i7_2600k, cpu_engine="fpga")
+
+
+class TestRegistryAndCostModel:
+    def test_mp_parallel_registered(self, i7_2600k):
+        assert "mp-parallel" in available_executors()
+        executor = get_executor("mp-parallel", i7_2600k, workers=2)
+        assert isinstance(executor, MPParallelExecutor)
+        assert executor.workers == 2
+
+    def test_simulated_rtime_improves_with_workers(self, i7_2600k):
+        model = MPParallelExecutor(i7_2600k).cost_model
+        params = InputParams(dim=1900, tsize=750, dsize=1)
+        t2 = model.mp_parallel_time(params, 64, 2)
+        t8 = model.mp_parallel_time(params, 64, 8)
+        assert t8 < t2
+
+    def test_single_worker_prediction_is_the_vectorized_engine(self, i7_2600k):
+        model = MPParallelExecutor(i7_2600k).cost_model
+        params = InputParams(dim=512, tsize=100, dsize=1)
+        assert model.mp_parallel_time(params, 8, 1) == model.vectorized_time(params)
+
+    def test_parallel_efficiency_term_bounded(self, i7_2600k):
+        model = MPParallelExecutor(i7_2600k).cost_model
+        params = InputParams(dim=256, tsize=100, dsize=1)
+        eff = model.mp_parallel_efficiency(params, 32, 4)
+        assert 0.0 < eff <= 1.0
+        # A huge tile exposes almost no tile-parallelism.
+        assert model.mp_parallel_efficiency(params, 256, 4) <= eff
+
+
+class TestSearchSpaceDimensions:
+    def test_worker_counts_cover_the_platform_budget(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+
+        space = SearchSpace(tiny_space, i7_2600k)
+        counts = space.worker_counts
+        assert counts[0] == 1
+        assert counts[-1] == i7_2600k.cpu.workers
+        assert all(b > a for a, b in zip(counts, counts[1:]))
+
+    def test_cpu_backends_include_mp(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+
+        space = SearchSpace(tiny_space, i7_2600k)
+        assert "mp-parallel" in space.cpu_backends
+        info = space.describe()
+        assert "cpu_backends" in info and "worker_counts" in info
+
+    def test_best_cpu_backend_is_mp_for_large_coarse_instances(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+
+        space = SearchSpace(tiny_space, i7_2600k)
+        backend, workers = space.best_cpu_backend(InputParams(dim=1900, tsize=750, dsize=1))
+        assert backend == "mp-parallel"
+        assert workers > 1
+
+    def test_best_cpu_backend_co_optimises_the_tile(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+
+        # dim=2700/tsize=100 only wins for mp-parallel at coarse tiles: a
+        # hardwired cache-sized tile (8) would mis-select vectorized.
+        space = SearchSpace(tiny_space, i7_2600k)
+        params = InputParams(dim=2700, tsize=100, dsize=1)
+        assert space.best_cpu_backend(params)[0] == "mp-parallel"
+        assert space.best_cpu_backend(params, cpu_tile=8)[0] == "vectorized"
+
+    def test_best_cpu_backend_stays_single_core_for_tiny_instances(self, tiny_space, i7_2600k):
+        from repro.autotuner.search_space import SearchSpace
+
+        space = SearchSpace(tiny_space, i7_2600k)
+        backend, workers = space.best_cpu_backend(InputParams(dim=32, tsize=1, dsize=1))
+        assert backend in ("serial", "vectorized")
+        assert workers == 1
+
+    def test_tuner_selects_cpu_backend(self, trained_tuner_i7):
+        params = InputParams(dim=1900, tsize=750, dsize=1)
+        backend, workers = trained_tuner_i7.select_cpu_backend(params)
+        assert backend in ("serial", "vectorized", "mp-parallel")
+        assert workers >= 1
+        if backend == "mp-parallel":
+            assert workers == trained_tuner_i7.select_workers(params)

@@ -112,6 +112,81 @@ class TestDiagonalSweepEngine:
             VectorizedSerialExecutor(i7_2600k).execute(problem)
 
 
+class TestEngineCache:
+    def test_engine_reused_across_range_calls(self, small_synthetic):
+        from repro.runtime import engine_for
+
+        assert engine_for(small_synthetic) is engine_for(small_synthetic)
+
+    def test_compute_range_uses_the_cached_engine(self, small_synthetic, monkeypatch):
+        import repro.runtime.vectorized as vec
+
+        calls = {"built": 0}
+        original = vec.DiagonalSweepEngine.__init__
+
+        def counting_init(self, problem):
+            calls["built"] += 1
+            original(self, problem)
+
+        monkeypatch.setattr(vec.DiagonalSweepEngine, "__init__", counting_init)
+        grid = small_synthetic.make_grid()
+        last = 2 * small_synthetic.dim - 2
+        compute_diagonal_range_vectorized(small_synthetic, grid, 0, last // 2)
+        compute_diagonal_range_vectorized(small_synthetic, grid, last // 2 + 1, last)
+        assert calls["built"] == 1  # the O(dim^2) precompute was paid once
+
+    def test_problem_stays_picklable_with_cached_engine(self, small_synthetic):
+        # The multicore backend ships problems to pool workers (pickled under
+        # spawn start methods); the cached engine holds closure evaluators
+        # and must be excluded from the pickled state.
+        import pickle
+
+        from repro.runtime import engine_for
+
+        engine_for(small_synthetic)
+        clone = pickle.loads(pickle.dumps(small_synthetic))
+        assert clone.dim == small_synthetic.dim
+        assert not hasattr(clone, "_cached_sweep_engine")
+
+    def test_cache_does_not_keep_problems_alive(self, i7_2600k):
+        import gc
+        import weakref
+
+        from repro.apps.synthetic import SyntheticApp
+        from repro.runtime import engine_for
+
+        problem = SyntheticApp(dim=16).problem()
+        engine_for(problem)
+        ref = weakref.ref(problem)
+        del problem
+        gc.collect()
+        assert ref() is None
+
+
+class TestRangeLimitedFiniteCheck:
+    def test_non_finite_outside_the_swept_range_is_ignored(self, small_synthetic):
+        dim = small_synthetic.dim
+        grid = small_synthetic.make_grid()
+        # Poison a cell on a diagonal far after the swept range; the sweep of
+        # the leading diagonals must not scan (or reject) it.
+        grid.values[dim - 1, dim - 1] = np.inf
+        engine = DiagonalSweepEngine(small_synthetic)
+        assert engine.sweep(grid, 0, 3) == 10
+
+    def test_non_finite_inside_the_swept_range_raises(self, i7_2600k):
+        kernel = FunctionKernel(
+            lambda i, j, w, n, nw: np.where(i + j == 3, np.inf, 1.0),
+            tsize=1.0,
+            name="poison-d3",
+        )
+        problem = WavefrontProblem(dim=8, kernel=kernel)
+        grid = problem.make_grid()
+        engine = DiagonalSweepEngine(problem)
+        assert engine.sweep(grid, 0, 2) == 6  # before the poisoned diagonal
+        with pytest.raises(KernelError, match="diagonal 3"):
+            engine.sweep(grid, 3, 5)
+
+
 class TestVectorizedExecutor:
     def test_tunables_normalised_to_serial_configuration(self, small_synthetic, i7_2600k):
         result = VectorizedSerialExecutor(i7_2600k).execute(
