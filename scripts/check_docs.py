@@ -1,13 +1,23 @@
 #!/usr/bin/env python
-"""Docs coverage check: every public class in ``repro.apps`` and
-``repro.runtime`` must be mentioned in ``docs/architecture.md``.
+"""Docs coverage checks for the repository.
+
+Three guarantees, all enforced in CI and mirrored by
+``tests/test_docs_coverage.py``:
+
+1. every public class in ``repro.apps`` and ``repro.runtime`` is mentioned
+   in ``docs/architecture.md`` — adding an application or executor without
+   documenting it fails the build;
+2. every public class of the measured-autotuning module
+   (``repro.autotuner.measured``) is mentioned in ``docs/measured-tuning.md``
+   — the profile→train→tune workflow page stays complete;
+3. every public module, class, function and method under ``src/repro`` has
+   a docstring (nested defs and ``_private`` names are exempt).
 
 Run from the repository root (CI does) or anywhere inside it:
 
     python scripts/check_docs.py
 
-Exits non-zero listing the undocumented classes, so adding an application
-or executor without documenting it fails the build.
+Exits non-zero listing the undocumented items.
 """
 
 from __future__ import annotations
@@ -17,36 +27,101 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_PATH = REPO_ROOT / "docs" / "architecture.md"
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+ARCHITECTURE_DOC = REPO_ROOT / "docs" / "architecture.md"
+MEASURED_DOC = REPO_ROOT / "docs" / "measured-tuning.md"
+#: Packages whose public classes must appear in docs/architecture.md.
 PACKAGES = ("apps", "runtime")
+#: Module whose public classes must appear in docs/measured-tuning.md.
+MEASURED_MODULE = SRC_ROOT / "autotuner" / "measured.py"
 
 
 def public_classes(package: str) -> dict[str, str]:
     """Map of public class name -> defining file for one repro subpackage."""
     classes: dict[str, str] = {}
-    for path in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
-        tree = ast.parse(path.read_text(encoding="utf-8"))
-        for node in ast.walk(tree):
+    for path in sorted((SRC_ROOT / package).glob("*.py")):
+        for node in ast.walk(ast.parse(path.read_text(encoding="utf-8"))):
             if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
                 classes[node.name] = f"src/repro/{package}/{path.name}"
     return classes
 
 
+def module_classes(path: Path) -> dict[str, str]:
+    """Map of public class name -> defining file for one module."""
+    rel = path.relative_to(REPO_ROOT)
+    return {
+        node.name: str(rel)
+        for node in ast.walk(ast.parse(path.read_text(encoding="utf-8")))
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_")
+    }
+
+
+def check_classes_mentioned(doc_path: Path, classes: dict[str, str]) -> list[str]:
+    """Classes not mentioned in ``doc_path``, as printable problem lines."""
+    if not doc_path.exists():
+        return [f"{doc_path.relative_to(REPO_ROOT)} does not exist"]
+    doc = doc_path.read_text(encoding="utf-8")
+    return [
+        f"{doc_path.relative_to(REPO_ROOT)} does not mention {name}  ({origin})"
+        for name, origin in classes.items()
+        if name not in doc
+    ]
+
+
+def docstring_gaps(root: Path) -> list[str]:
+    """Public defs without docstrings under ``root``, as printable lines.
+
+    Walks module top-levels and the bodies of *public* classes only, so
+    nested helper functions and ``_private`` classes are exempt — the same
+    rule throughout: if a name is part of the public surface, it needs a
+    docstring.
+    """
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT)
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if not ast.get_docstring(tree):
+            problems.append(f"{rel}: module has no docstring")
+
+        def visit(nodes: list[ast.stmt], prefix: str) -> None:
+            for node in nodes:
+                if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        problems.append(f"{rel}:{node.lineno}: class {prefix}{node.name}")
+                    visit(node.body, f"{prefix}{node.name}.")
+                elif isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        problems.append(f"{rel}:{node.lineno}: def {prefix}{node.name}")
+
+        visit(tree.body, "")
+    return problems
+
+
 def main() -> int:
-    doc = DOC_PATH.read_text(encoding="utf-8")
-    missing: list[tuple[str, str]] = []
-    total = 0
+    """Run all three checks; print problems and return the exit code."""
+    problems: list[str] = []
+    total_classes = 0
     for package in PACKAGES:
-        for name, origin in public_classes(package).items():
-            total += 1
-            if name not in doc:
-                missing.append((name, origin))
-    if missing:
-        print(f"{DOC_PATH.relative_to(REPO_ROOT)} is missing {len(missing)} public classes:")
-        for name, origin in missing:
-            print(f"  - {name}  ({origin})")
+        classes = public_classes(package)
+        total_classes += len(classes)
+        problems += check_classes_mentioned(ARCHITECTURE_DOC, classes)
+    measured = module_classes(MEASURED_MODULE)
+    total_classes += len(measured)
+    problems += check_classes_mentioned(MEASURED_DOC, measured)
+    gaps = docstring_gaps(SRC_ROOT)
+    problems += gaps
+
+    if problems:
+        print(f"docs check FAILED with {len(problems)} problems:")
+        for problem in problems:
+            print(f"  - {problem}")
         return 1
-    print(f"docs check OK: all {total} public apps/runtime classes documented")
+    print(
+        f"docs check OK: {total_classes} public classes documented, "
+        f"no public docstring gaps under src/repro"
+    )
     return 0
 
 

@@ -36,6 +36,7 @@ class GroupStats:
         return self.avg_rtime / self.best_rtime
 
     def as_row(self) -> list[object]:
+        """The Figure 7 table row used by the text report."""
         return [
             self.dim,
             self.tsize,

@@ -62,6 +62,7 @@ class ViolinStats:
         return total > 0 and (mass_near_best / total) > 0.15
 
     def as_row(self) -> list[object]:
+        """The Figure 8 table row used by the text report."""
         return [
             self.dim,
             self.tsize,

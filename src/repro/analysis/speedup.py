@@ -32,6 +32,7 @@ class SchemeSpeedups:
     max_vs_serial: float
 
     def as_row(self) -> list[object]:
+        """The Figure 6 table row used by the text report."""
         return [
             self.system,
             self.n_instances,
@@ -85,6 +86,7 @@ class AutotuneSpeedups:
         return self.autotuned_speedup / self.exhaustive_speedup
 
     def as_row(self) -> list[object]:
+        """The Figure 10 table row used by the text report."""
         return [
             self.system,
             self.n_instances,

@@ -69,6 +69,7 @@ class EditDistanceKernel(WavefrontKernel):
         return np.where(same, 0.0, self.mismatch)
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized edit-distance recurrence over one anti-diagonal."""
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)
         gap = self.gap
@@ -154,6 +155,7 @@ class EditDistanceApp(WavefrontApplication):
         self.mismatch = mismatch
 
     def make_kernel(self) -> EditDistanceKernel:
+        """Construct the edit-distance kernel for the app's sequences."""
         seq_a = random_dna(self.default_dim, seed=self.seed)
         seq_b = mutate(seq_a, rate=1.0 - self.similarity, seed=self.seed)
         return EditDistanceKernel(seq_a, seq_b, gap=self.gap, mismatch=self.mismatch)

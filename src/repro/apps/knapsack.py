@@ -43,6 +43,7 @@ class KnapsackKernel(WavefrontKernel):
         self.name = "knapsack"
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized knapsack recurrence over one anti-diagonal."""
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)
         item_value = self.values[i % self.values.size]
@@ -98,6 +99,7 @@ class KnapsackApp(WavefrontApplication):
         self.max_value = float(max_value)
 
     def make_kernel(self) -> KnapsackKernel:
+        """Construct the knapsack kernel for the app's item values."""
         rng = make_rng(self.seed)
         values = rng.uniform(0.0, self.max_value, size=self.default_dim)
         return KnapsackKernel(values)

@@ -50,6 +50,7 @@ class LCSKernel(WavefrontKernel):
         return self.seq_a[i % self.seq_a.size] == self.seq_b[j % self.seq_b.size]
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized LCS recurrence over one anti-diagonal."""
         return np.where(
             self.matches(i, j), northwest + 1.0, np.maximum(north, west)
         )
@@ -102,6 +103,7 @@ class LCSApp(WavefrontApplication):
         self.seed = seed
 
     def make_kernel(self) -> LCSKernel:
+        """Construct the LCS kernel for the app's sequences."""
         seq_a = random_dna(self.default_dim, seed=self.seed)
         seq_b = mutate(seq_a, rate=1.0 - self.similarity, seed=self.seed)
         return LCSKernel(seq_a, seq_b)

@@ -56,6 +56,7 @@ class MatrixChainKernel(WavefrontKernel):
         self.name = "matrix-chain"
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized matrix-chain recurrence over one anti-diagonal."""
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)
         n = self.n
@@ -145,6 +146,7 @@ class MatrixChainApp(WavefrontApplication):
         self.max_dim_size = int(max_dim_size)
 
     def make_kernel(self) -> MatrixChainKernel:
+        """Construct the matrix-chain kernel for the app's dimensions."""
         rng = make_rng(self.seed)
         dims = rng.integers(1, self.max_dim_size + 1, size=self.default_dim + 1)
         return MatrixChainKernel(dims)

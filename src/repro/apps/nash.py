@@ -52,6 +52,7 @@ class NashKernel(WavefrontKernel):
         return 0.5 * (row_pref + col_pref) + 0.25 * np.tanh(v)
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized best-response recurrence over one anti-diagonal."""
         i = np.asarray(i, dtype=float)
         j = np.asarray(j, dtype=float)
         # The predecessors act as the opponents' announced strategies.
@@ -118,4 +119,5 @@ class NashEquilibriumApp(WavefrontApplication):
             self.default_dim = int(dim)
 
     def make_kernel(self) -> NashKernel:
+        """Construct the Nash-equilibrium kernel for the app's payoffs."""
         return NashKernel(inner_iterations=self.inner_iterations)

@@ -98,6 +98,7 @@ class SmithWatermanKernel(WavefrontKernel):
         return np.where(same, self.match, self.mismatch)
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized Smith-Waterman recurrence over one anti-diagonal."""
         score = northwest + self.substitution(i, j)
         candidates = np.stack(
             [np.zeros_like(score), score, north - self.gap, west - self.gap]
@@ -165,6 +166,7 @@ class SequenceComparisonApp(WavefrontApplication):
         self.gap = gap
 
     def make_kernel(self) -> SmithWatermanKernel:
+        """Construct the Smith-Waterman kernel for the app's sequences."""
         seq_a = random_dna(self.default_dim, seed=self.seed)
         seq_b = mutate(seq_a, rate=1.0 - self.similarity, seed=self.seed)
         return SmithWatermanKernel(

@@ -43,6 +43,7 @@ class SyntheticKernel(WavefrontKernel):
         self.name = "synthetic"
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized synthetic recurrence over one anti-diagonal."""
         i = np.asarray(i, dtype=float)
         j = np.asarray(j, dtype=float)
         value = (west + north + northwest) / 3.0 + self.seed_term * (1.0 + (i + 2.0 * j) % 7.0)
@@ -106,6 +107,7 @@ class SyntheticApp(WavefrontApplication):
             self.default_dim = int(dim)
 
     def make_kernel(self) -> SyntheticKernel:
+        """Construct the synthetic kernel with the app's (tsize, dsize)."""
         return SyntheticKernel(
             tsize=self.tsize, dsize=self.dsize, emulate_work=self.emulate_work
         )

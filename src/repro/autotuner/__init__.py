@@ -22,6 +22,17 @@ from repro.autotuner.training import TrainingSetBuilder, TrainingSet
 from repro.autotuner.models import LearnedTuner
 from repro.autotuner.tuner import AutoTuner, autotune_and_run
 from repro.autotuner.persistence import save_tuner, load_tuner
+from repro.autotuner.measured import (
+    MeasuredProfile,
+    MeasuredRecord,
+    MeasuredTuner,
+    ProfileConfig,
+    TunedPlan,
+    load_profile,
+    profile_host,
+    save_profile,
+    train_measured_tuner,
+)
 
 __all__ = [
     "SearchSpace",
@@ -38,4 +49,13 @@ __all__ = [
     "autotune_and_run",
     "save_tuner",
     "load_tuner",
+    "MeasuredProfile",
+    "MeasuredRecord",
+    "MeasuredTuner",
+    "ProfileConfig",
+    "TunedPlan",
+    "load_profile",
+    "profile_host",
+    "save_profile",
+    "train_measured_tuner",
 ]

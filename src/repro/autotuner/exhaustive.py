@@ -62,6 +62,7 @@ class SearchResults:
 
     # ------------------------------------------------------------------
     def add(self, record: SearchRecord) -> None:
+        """Append one evaluated configuration point."""
         self.records.append(record)
 
     def __len__(self) -> int:

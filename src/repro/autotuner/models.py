@@ -47,6 +47,9 @@ class LearnedTuner:
     system_name: str
     supports_gpu: bool = True
     supports_dual_gpu: bool = True
+    #: Discrete cpu-tile values predictions snap to.  The paper's Table 3
+    #: grid by default; the measured pipeline passes the tile grid it swept.
+    cpu_tile_choices: tuple[int, ...] = PAPER_CPU_TILES
     gate: LinearSVM = field(default_factory=LinearSVM)
     cpu_tile_model: M5ModelTree = field(
         default_factory=lambda: M5ModelTree(min_leaf=3, smoothing_k=5.0)
@@ -114,7 +117,7 @@ class LearnedTuner:
         # CPU tile size from the input parameters only (always needed: even a
         # "no parallelism worth it" verdict still runs the tiled CPU code path,
         # so a sensible tile size is part of the answer).
-        cpu_tile = _snap(float(self.cpu_tile_model.predict(x_input)), PAPER_CPU_TILES)
+        cpu_tile = _snap(float(self.cpu_tile_model.predict(x_input)), self.cpu_tile_choices)
 
         # Step 1: is parallelism (in particular GPU offload) worth it at all?
         if not bool(self.gate.predict_bool(x_input)[0]):
@@ -170,6 +173,7 @@ class LearnedTuner:
             "system_name": self.system_name,
             "supports_gpu": self.supports_gpu,
             "supports_dual_gpu": self.supports_dual_gpu,
+            "cpu_tile_choices": list(self.cpu_tile_choices),
             "gate": self.gate.to_dict(),
             "cpu_tile_model": self.cpu_tile_model.to_dict(),
             "gpu_use_model": self.gpu_use_model.to_dict(),
@@ -184,6 +188,9 @@ class LearnedTuner:
             system_name=data["system_name"],
             supports_gpu=bool(data["supports_gpu"]),
             supports_dual_gpu=bool(data["supports_dual_gpu"]),
+            cpu_tile_choices=tuple(
+                int(t) for t in data.get("cpu_tile_choices", PAPER_CPU_TILES)
+            ),
         )
         tuner.gate = LinearSVM.from_dict(data["gate"])
         tuner.cpu_tile_model = M5ModelTree.from_dict(data["cpu_tile_model"])

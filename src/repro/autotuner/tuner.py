@@ -99,6 +99,7 @@ class AutoTuner:
 
     @property
     def trained(self) -> bool:
+        """True once the learned models have been fitted."""
         return self.model is not None and self.model.fitted
 
     def _check_trained(self) -> None:

@@ -1,17 +1,24 @@
 """Command-line interface to the autotuning framework.
 
-Four subcommands cover the deployment workflow of the paper plus the
-reproduction's own benchmarking:
+Five subcommands cover the deployment workflow of the paper plus the
+reproduction's own benchmarking and the measured-profile pipeline:
 
-* ``repro-tune systems`` — list the built-in Table 4 platforms;
+* ``repro-tune systems`` — list the built-in Table 4 platforms (plus the
+  introspected ``local`` host);
 * ``repro-tune sweep --system i7-2600K`` — run the exhaustive sweep of the
   synthetic application and print the Figure 5 band heatmap;
 * ``repro-tune tune --system i7-3820 --app nash-equilibrium --dim 1900`` —
   train the autotuner and print the tuned parameter settings (optionally
   saving/loading the trained model so training happens only once);
+  ``--system local`` instead loads the *measured* model produced by
+  ``profile`` and answers from real wall-clocks;
 * ``repro-tune bench --dim 512`` — functionally execute every registered
   executor x application pair, print the wall-clock speedup table and write
-  the raw measurements as JSON under ``benchmarks/results/``.
+  the raw measurements as JSON under ``benchmarks/results/``;
+* ``repro-tune profile`` — time the live CPU backends on this machine, train
+  a tuner on the measured wall-clocks, and write the profile, the model and
+  the predicted-vs-measured report under ``benchmarks/results/``
+  (``--quick`` keeps it within a CI-friendly budget).
 
 The same interface is available as ``python -m repro``.  The CLI is
 intentionally thin: it only wires command-line arguments to the public
@@ -30,6 +37,11 @@ from repro.analysis.heatmap import build_heatmap
 from repro.analysis.report import render_heatmap
 from repro.apps.registry import available_applications, get_application
 from repro.autotuner.exhaustive import ExhaustiveSearch
+from repro.autotuner.measured import (
+    DEFAULT_MODEL_PATH,
+    DEFAULT_PROFILE_PATH,
+    DEFAULT_REPORT_PATH,
+)
 from repro.autotuner.persistence import load_tuner, save_tuner
 from repro.autotuner.tuner import AutoTuner
 from repro.core.parameter_space import ParameterSpace
@@ -70,9 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "systems",
-        help="list the built-in Table 4 systems",
+        help="list the built-in Table 4 systems and the local host",
         description="List the three Table 4 platforms with their CPU, GPU and "
-        "interconnect characteristics.",
+        "interconnect characteristics, plus the introspected local host.",
         epilog="example:\n  repro-tune systems",
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -96,15 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="train (or load) the tuner and tune one application instance",
         description="Train the M5P-based autotuner on the synthetic sweep (or "
         "load a previously saved model), then predict tuned parameters for one "
-        "application instance and report the expected speedup.",
+        "application instance and report the expected speedup.  With "
+        "--system local the measured model produced by 'repro-tune profile' "
+        "is loaded instead and answers come from real wall-clocks.",
         epilog="examples:\n"
         "  repro-tune tune --system i7-3820 --app nash-equilibrium --dim 1900\n"
         "  repro-tune tune --system i7-2600K --app synthetic --tsize 750 --dsize 4\n"
         "  repro-tune tune --save-model model.json   # train once, reuse later\n"
-        "  repro-tune tune --load-model model.json --app lcs --dim 2700",
+        "  repro-tune tune --load-model model.json --app lcs --dim 2700\n"
+        "  repro-tune tune --system local --app lcs --dim 512   # measured model",
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    tune.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
+    tune.add_argument(
+        "--system",
+        default="i7-2600K",
+        choices=sorted(platforms.SYSTEMS_BY_NAME) + ["local"],
+    )
+    tune.add_argument(
+        "--profile-file",
+        type=Path,
+        default=None,
+        help="measured profile JSON for --system local "
+        f"(default: {DEFAULT_PROFILE_PATH})",
+    )
     tune.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
     tune.add_argument("--app", default="synthetic", choices=available_applications())
     tune.add_argument("--dim", type=int, default=1900, help="problem size (grid side length)")
@@ -152,17 +178,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"JSON output path (default: {DEFAULT_BENCH_DIR}/bench_<system>_<dim>.json)",
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="measure the live CPU backends on this host and train a tuner",
+        description="Introspect this machine, run timed functional sweeps of "
+        "the registered CPU backends over an instance grid, train the tuner "
+        "on the measured wall-clocks, and write the profile JSON, the trained "
+        "model and the Figure 7-style predicted-vs-measured report.  The "
+        "result is what 'repro-tune tune --system local' deploys.",
+        epilog="examples:\n"
+        "  repro-tune profile --quick      # CI / 1-core budget (< 60 s)\n"
+        "  repro-tune profile --repeats 5\n"
+        "  repro-tune profile --apps lcs,synthetic --dims 128,512",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    profile.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instance grid + tight time budget (for CI and slow hosts)",
+    )
+    profile.add_argument(
+        "--apps", default=None, help="comma-separated application names to profile"
+    )
+    profile.add_argument(
+        "--dims", default=None, help="comma-separated grid side lengths to profile"
+    )
+    profile.add_argument(
+        "--repeats", type=int, default=None, help="timed repetitions per point (best kept)"
+    )
+    profile.add_argument(
+        "--budget-s", type=float, default=None, help="wall-clock budget for the sweep"
+    )
+    profile.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_PROFILE_PATH,
+        help=f"profile JSON output path (default: {DEFAULT_PROFILE_PATH})",
+    )
+    profile.add_argument(
+        "--model-out",
+        type=Path,
+        default=DEFAULT_MODEL_PATH,
+        help=f"trained tuner output path (default: {DEFAULT_MODEL_PATH})",
+    )
+    profile.add_argument(
+        "--report-out",
+        type=Path,
+        default=DEFAULT_REPORT_PATH,
+        help=f"predicted-vs-measured report path (default: {DEFAULT_REPORT_PATH})",
+    )
     return parser
 
 
 def cmd_systems() -> int:
+    """The ``systems`` verb: list the Table 4 platforms and the local host."""
     for system in platforms.ALL_SYSTEMS:
         print(system.describe())
         print()
+    print(platforms.resolve_system("local").describe())
+    print("  (introspected host — target of 'repro-tune profile' / '--system local')")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` verb: exhaustive simulate-mode sweep + Figure 5 heatmaps."""
     system = platforms.get_system(args.system)
     results = ExhaustiveSearch(system, _space(args.space)).sweep()
     print(f"{len(results)} configuration points over {len(results.instances())} instances\n")
@@ -173,7 +253,56 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune_local(args: argparse.Namespace) -> int:
+    """The measured-model deployment path (``tune --system local``)."""
+    from repro.autotuner.measured import MeasuredTuner
+
+    if args.save_model is not None:
+        print("note: --save-model is ignored with --system local (nothing is trained)")
+    profile_path = args.profile_file or DEFAULT_PROFILE_PATH
+    model_path = args.load_model or DEFAULT_MODEL_PATH
+    try:
+        tuner = MeasuredTuner.from_files(profile_path, model_path)
+    except FileNotFoundError as exc:
+        raise SystemExit(
+            f"missing measured artifact ({exc.filename}); run 'repro-tune profile' first"
+        )
+    print(f"loaded measured profile {profile_path} ({len(tuner.profile)} records)")
+    print(f"loaded measured model   {model_path}")
+
+    # --tsize/--dsize override the synthetic app's granularity, exactly as in
+    # the simulated-system path.
+    overrides = {}
+    if args.app == "synthetic":
+        if args.tsize is not None:
+            overrides["tsize"] = args.tsize
+        if args.dsize is not None:
+            overrides["dsize"] = args.dsize
+    plan = tuner.tune(args.app, args.dim, **overrides)
+    params = get_application(args.app, dim=args.dim, **overrides).input_params(args.dim)
+    print(
+        f"\napplication: {args.app}  "
+        f"(dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})"
+    )
+    print(f"tuned plan: {plan.describe()}")
+    anchor = tuner.nearest_instance(params, args.app)
+    if anchor != params:
+        print(
+            f"  (nearest profiled instance: dim={anchor.dim}, "
+            f"tsize={anchor.tsize:g}, dsize={anchor.dsize})"
+        )
+    serial = tuner.profile.serial_time(anchor, app=args.app)
+    print(
+        f"measured serial reference: {serial * 1e3:.2f} ms "
+        f"({serial / plan.expected_s:.1f}x speedup expected)"
+    )
+    return 0
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
+    """The ``tune`` verb: simulated Table 4 systems or the measured local host."""
+    if args.system == "local":
+        return cmd_tune_local(args)
     system = platforms.get_system(args.system)
     tuner = AutoTuner(system, space=_space(args.space))
     if args.load_model is not None:
@@ -239,6 +368,7 @@ def _bench_tunables(executor: str, dim: int, max_gpus: int) -> TunableParams | N
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` verb: wall-clock the executor x application grid."""
     # Imported here so `repro-tune --help` stays snappy.
     from repro.runtime.registry import available_executors, get_executor
 
@@ -341,6 +471,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` verb: measure, train, persist, report."""
+    from dataclasses import replace
+
+    from repro.analysis.measured import write_measured_report
+    from repro.autotuner.measured import MeasuredTuner, ProfileConfig, profile_host, save_profile
+
+    config = ProfileConfig.quick() if args.quick else ProfileConfig()
+    overrides = {}
+    if args.apps is not None:
+        overrides["apps"] = tuple(args.apps.split(","))
+    if args.dims is not None:
+        overrides["dims"] = tuple(int(d) for d in args.dims.split(","))
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.budget_s is not None:
+        overrides["budget_s"] = args.budget_s
+    if overrides:
+        config = replace(config, **overrides)
+
+    system = platforms.resolve_system("local")
+    print(system.describe())
+    print(
+        f"\nprofiling {len(config.apps)} applications x {len(config.dims)} dims "
+        f"on {len(config.backends)} backends "
+        f"(repeats={config.repeats}, budget={config.budget_s:g}s) ...\n"
+    )
+    profile = profile_host(system, config, progress=print)
+    save_profile(profile, args.out)
+    print(f"\nwrote {len(profile)} measured records to {args.out}")
+
+    tuner = MeasuredTuner.train(profile)
+    save_tuner(tuner.model, args.model_out)
+    print(f"wrote trained measured tuner to {args.model_out}")
+
+    report_path = write_measured_report(args.report_out, profile, tuner, system)
+    print(f"wrote predicted-vs-measured report to {report_path}\n")
+    print(report_path.read_text(encoding="utf-8"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -353,6 +524,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_tune(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

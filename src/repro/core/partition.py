@@ -37,6 +37,7 @@ class DiagonalPartition:
 
     @property
     def own_cells(self) -> int:
+        """Number of diagonal cells this partition owns (halo excluded)."""
         return self.own_stop - self.own_start
 
     @property

@@ -131,6 +131,7 @@ class FunctionKernel(WavefrontKernel):
         self.name = name
 
     def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Delegate one anti-diagonal to the wrapped function."""
         return self._func(i, j, west, north, northwest)
 
 

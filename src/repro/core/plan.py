@@ -41,10 +41,12 @@ class PhaseSpan:
 
     @property
     def is_empty(self) -> bool:
+        """True when the span covers no diagonals."""
         return self.hi < self.lo
 
     @property
     def n_diagonals(self) -> int:
+        """Number of diagonals the span covers."""
         return 0 if self.is_empty else self.hi - self.lo + 1
 
     def cells(self, dim: int) -> int:

@@ -33,14 +33,17 @@ class Tile:
 
     @property
     def n_rows(self) -> int:
+        """Number of grid rows the tile covers."""
         return self.row_stop - self.row_start
 
     @property
     def n_cols(self) -> int:
+        """Number of grid columns the tile covers."""
         return self.col_stop - self.col_start
 
     @property
     def n_cells(self) -> int:
+        """Number of grid cells the tile covers."""
         return self.n_rows * self.n_cols
 
 

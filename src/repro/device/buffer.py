@@ -27,10 +27,12 @@ class DeviceBuffer:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the device-resident array."""
         return self._data.shape
 
     @property
     def dtype(self):
+        """Element dtype of the device-resident array."""
         return self._data.dtype
 
     @property

@@ -92,4 +92,5 @@ class DeviceContext:
 
     @property
     def released(self) -> bool:
+        """True once the context's resources have been released."""
         return self._released

@@ -43,6 +43,7 @@ class SimulatedGPU:
 
     @property
     def initialised(self) -> bool:
+        """True once the simulated device has been initialised."""
         return self._initialised
 
     def _check_initialised(self) -> None:

@@ -73,6 +73,20 @@ def get_system(name: str) -> SystemSpec:
         raise KeyError(f"unknown system {name!r}; known systems: {known}") from None
 
 
+def resolve_system(name: str) -> SystemSpec:
+    """Resolve a system name, including the introspected ``local`` host.
+
+    ``"local"`` introspects the machine running this process
+    (:func:`repro.hardware.system.detect_local_system`); every other name is
+    looked up in the Table 4 registry via :func:`get_system`.
+    """
+    from repro.hardware.system import LOCAL_SYSTEM_NAME, detect_local_system
+
+    if name == LOCAL_SYSTEM_NAME:
+        return detect_local_system()
+    return get_system(name)
+
+
 def cpu_only_variant(system: SystemSpec) -> SystemSpec:
     """Return a copy of ``system`` with its GPUs removed.
 

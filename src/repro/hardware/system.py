@@ -1,8 +1,18 @@
-"""A heterogeneous system: one multicore CPU plus zero or more GPUs."""
+"""A heterogeneous system: one multicore CPU plus zero or more GPUs.
+
+Besides the :class:`SystemSpec` dataclass this module can *introspect the
+machine running this process* into a spec (:func:`detect_local_system`), which
+is how the measured-profile autotuning pipeline
+(:mod:`repro.autotuner.measured`) obtains the ``local`` system the CLI's
+``repro profile`` / ``repro tune --system local`` verbs operate on.
+"""
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.exceptions import InvalidParameterError
 from repro.hardware.cpu import CPUSpec
@@ -28,10 +38,12 @@ class InterconnectSpec:
 
     @property
     def bandwidth_bytes_per_s(self) -> float:
+        """Bandwidth in bytes per second."""
         return self.bandwidth_gbs * 1e9
 
     @property
     def latency_s(self) -> float:
+        """Per-transfer latency in seconds."""
         return self.latency_us * 1e-6
 
     def transfer_time(self, nbytes: float) -> float:
@@ -78,6 +90,7 @@ class SystemSpec:
 
     @property
     def has_gpu(self) -> bool:
+        """True when the system hosts at least one GPU device."""
         return bool(self.gpus)
 
     def describe(self) -> str:
@@ -90,3 +103,69 @@ class SystemSpec:
             f"{self.interconnect.latency_us:g} us latency"
         )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Local host introspection
+# ----------------------------------------------------------------------
+#: Name under which the introspected host registers (``--system local``).
+LOCAL_SYSTEM_NAME = "local"
+
+_DEFAULT_FREQ_MHZ = 2000.0
+_DEFAULT_MEM_GB = 4.0
+
+
+def _read_cpu_model_and_mhz(cpuinfo: str) -> tuple[str | None, float | None]:
+    """Parse ``model name`` and ``cpu MHz`` out of a /proc/cpuinfo dump."""
+    model = None
+    mhz = None
+    m = re.search(r"^model name\s*:\s*(.+)$", cpuinfo, flags=re.MULTILINE)
+    if m:
+        model = m.group(1).strip()
+    m = re.search(r"^cpu MHz\s*:\s*([0-9.]+)$", cpuinfo, flags=re.MULTILINE)
+    if m:
+        mhz = float(m.group(1))
+    return model, mhz
+
+
+def _read_mem_gb(meminfo: str) -> float | None:
+    """Parse ``MemTotal`` (kB) out of a /proc/meminfo dump, in GB."""
+    m = re.search(r"^MemTotal:\s*([0-9]+)\s*kB$", meminfo, flags=re.MULTILINE)
+    if m:
+        return int(m.group(1)) / (1024.0 * 1024.0)
+    return None
+
+
+def detect_local_system(name: str = LOCAL_SYSTEM_NAME) -> SystemSpec:
+    """Introspect the machine running this process into a :class:`SystemSpec`.
+
+    The core count comes from :func:`os.cpu_count`; CPU model/clock and total
+    memory are read from ``/proc`` when available (Linux) and fall back to
+    conservative defaults elsewhere.  No GPU devices are attached: the
+    reproduction's GPUs are simulated and cannot be timed for real, so the
+    measured-profile pipeline (:mod:`repro.autotuner.measured`) only tunes
+    the CPU backends on the local system.  Hyper-threading is not detected
+    (``/proc`` does not expose it portably) and is assumed absent, so
+    ``cpu.effective_cores == cpu.cores``.
+    """
+    cores = os.cpu_count() or 1
+    model, mhz = None, None
+    mem_gb = None
+    try:
+        model, mhz = _read_cpu_model_and_mhz(
+            Path("/proc/cpuinfo").read_text(encoding="utf-8")
+        )
+    except OSError:
+        pass
+    try:
+        mem_gb = _read_mem_gb(Path("/proc/meminfo").read_text(encoding="utf-8"))
+    except OSError:
+        pass
+    cpu = CPUSpec(
+        name=model or f"{name}-cpu",
+        freq_mhz=mhz if mhz and mhz > 0 else _DEFAULT_FREQ_MHZ,
+        cores=cores,
+        mem_gb=mem_gb if mem_gb and mem_gb > 0 else _DEFAULT_MEM_GB,
+        hyperthreaded=False,
+    )
+    return SystemSpec(name=name, cpu=cpu, gpus=())

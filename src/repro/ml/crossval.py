@@ -22,9 +22,13 @@ from repro.utils.rng import make_rng
 class SupervisedModel(Protocol):
     """Anything with the fit/predict interface used by the tuner."""
 
-    def fit(self, dataset: Dataset) -> "SupervisedModel": ...
+    def fit(self, dataset: Dataset) -> "SupervisedModel":
+        """Fit the model on a dataset."""
+        ...
 
-    def predict(self, X: np.ndarray) -> np.ndarray: ...
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        ...
 
 
 def kfold_indices(

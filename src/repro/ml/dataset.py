@@ -67,10 +67,12 @@ class Dataset:
     # ------------------------------------------------------------------
     @property
     def n_samples(self) -> int:
+        """Number of rows (samples) in the dataset."""
         return self.X.shape[0]
 
     @property
     def n_features(self) -> int:
+        """Number of feature columns in the dataset."""
         return self.X.shape[1]
 
     def feature_index(self, name: str) -> int:

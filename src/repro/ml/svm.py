@@ -81,6 +81,7 @@ class LinearSVM:
     # ------------------------------------------------------------------
     @property
     def fitted(self) -> bool:
+        """True once the separating hyperplane has been fitted."""
         return self.weights_ is not None
 
     def _check_fitted(self) -> None:

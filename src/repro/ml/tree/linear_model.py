@@ -59,6 +59,7 @@ class LinearModel:
 
     @property
     def fitted(self) -> bool:
+        """True once the coefficients have been fitted."""
         return self.coef_ is not None
 
     def _check_fitted(self) -> None:

@@ -19,6 +19,7 @@ class ReproJSONEncoder(json.JSONEncoder):
     """JSON encoder that understands NumPy scalars/arrays and dataclasses."""
 
     def default(self, o: Any) -> Any:  # noqa: D102 - stdlib signature
+        """Encode NumPy scalars/arrays and dataclasses (stdlib hook)."""
         if isinstance(o, (np.integer,)):
             return int(o)
         if isinstance(o, (np.floating,)):

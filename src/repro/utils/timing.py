@@ -29,11 +29,13 @@ class Stopwatch:
     _start: float | None = field(default=None, repr=False)
 
     def start(self) -> None:
+        """Start timing; raises if already running."""
         if self._start is not None:
             raise RuntimeError("Stopwatch already running")
         self._start = time.perf_counter()
 
     def stop(self) -> float:
+        """Stop timing and return the last lap's seconds."""
         if self._start is None:
             raise RuntimeError("Stopwatch not running")
         delta = time.perf_counter() - self._start
@@ -42,11 +44,13 @@ class Stopwatch:
         return delta
 
     def reset(self) -> None:
+        """Zero the accumulated time and stop the watch."""
         self.elapsed = 0.0
         self._start = None
 
     @property
     def running(self) -> bool:
+        """True while the watch is started."""
         return self._start is not None
 
     def __enter__(self) -> "Stopwatch":

@@ -130,3 +130,77 @@ class TestBench:
             main(["bench", "--apps", "raytracer", "--dim", "16"])
         with pytest.raises(SystemExit):
             main(["bench", "--executors", "quantum", "--dim", "16"])
+
+
+class TestProfile:
+    def test_profile_parses_defaults(self):
+        args = build_parser().parse_args(["profile", "--quick"])
+        assert args.quick and args.command == "profile"
+
+    def test_profile_then_tune_local_end_to_end(self, capsys, tmp_path):
+        profile_path = tmp_path / "profile.json"
+        model_path = tmp_path / "tuner.json"
+        report_path = tmp_path / "report.txt"
+        code = main(
+            [
+                "profile",
+                "--quick",
+                "--apps",
+                "lcs",
+                "--dims",
+                "32,48",
+                "--repeats",
+                "1",
+                "--out",
+                str(profile_path),
+                "--model-out",
+                str(model_path),
+                "--report-out",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured records" in out and "predicted-vs-measured" in out
+        assert profile_path.exists() and model_path.exists() and report_path.exists()
+
+        from repro.autotuner.persistence import load_tuner
+
+        assert load_tuner(model_path).fitted
+
+        code = main(
+            [
+                "tune",
+                "--system",
+                "local",
+                "--app",
+                "lcs",
+                "--dim",
+                "48",
+                "--profile-file",
+                str(profile_path),
+                "--load-model",
+                str(model_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tuned plan" in out and "measured serial reference" in out
+
+    def test_tune_local_without_artifacts_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="repro-tune profile"):
+            main(
+                [
+                    "tune",
+                    "--system",
+                    "local",
+                    "--app",
+                    "lcs",
+                    "--dim",
+                    "48",
+                    "--profile-file",
+                    str(tmp_path / "missing.json"),
+                    "--load-model",
+                    str(tmp_path / "missing_model.json"),
+                ]
+            )

@@ -1,8 +1,10 @@
 """The docs coverage check, wired into the test suite.
 
 CI also runs ``scripts/check_docs.py`` directly; this test keeps the
-guarantee local: every public class in ``repro.apps`` and ``repro.runtime``
-appears in ``docs/architecture.md``.
+guarantees local: every public class in ``repro.apps`` and ``repro.runtime``
+appears in ``docs/architecture.md``, every public class of
+``repro.autotuner.measured`` appears in ``docs/measured-tuning.md``, and
+every public module/class/function under ``src/repro`` has a docstring.
 """
 
 import sys
