@@ -20,6 +20,21 @@ The package provides:
   learned autotuner.
 * :mod:`repro.analysis` — helpers that regenerate the paper's figures
   (heatmaps, speedups, average-case aggregates, dispersion statistics).
+* :mod:`repro.session` / :mod:`repro.facade` — the high-level
+  :class:`~repro.session.Session` facade (plan/execute separation, batched
+  serving) that the CLI and new code build on.
+
+The supported entry point is the session::
+
+    from repro import Session
+
+    with Session(system="i7-2600K", tuner="learned") as session:
+        plan = session.plan("lcs", 256)     # inspect / save / replay
+        result = session.run(plan)
+
+Everything below it (executors, tuners, registries) remains public for
+research use, but :func:`~repro.autotuner.tuner.autotune_and_run` is
+deprecated in favour of :meth:`~repro.session.Session.solve`.
 """
 
 from __future__ import annotations
@@ -32,7 +47,10 @@ from repro.hardware import platforms
 from repro.hardware.system import SystemSpec
 from repro.runtime.hybrid import HybridExecutor
 from repro.runtime.result import ExecutionResult
+from repro.autotuner.protocol import PlanDecision, Tuner
 from repro.autotuner.tuner import AutoTuner, autotune_and_run
+from repro.facade.plan import ResolvedPlan, load_plan, save_plan
+from repro.session import Session
 
 __all__ = [
     "__version__",
@@ -47,4 +65,10 @@ __all__ = [
     "ExecutionResult",
     "AutoTuner",
     "autotune_and_run",
+    "Session",
+    "ResolvedPlan",
+    "PlanDecision",
+    "Tuner",
+    "save_plan",
+    "load_plan",
 ]

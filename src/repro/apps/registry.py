@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.apps.base import WavefrontApplication
+from repro.core.exceptions import UnknownApplicationError
 from repro.apps.editdistance import EditDistanceApp
 from repro.apps.knapsack import KnapsackApp
 from repro.apps.lcs import LCSApp
@@ -35,8 +36,30 @@ def get_application(name: str, **kwargs) -> WavefrontApplication:
         factory = APPLICATIONS[name]
     except KeyError:
         known = ", ".join(sorted(APPLICATIONS))
-        raise KeyError(f"unknown application {name!r}; known: {known}") from None
+        raise UnknownApplicationError(
+            f"unknown application {name!r}; known: {known}"
+        ) from None
     return factory(**kwargs)
+
+
+def resolve_application(
+    app: str | WavefrontApplication, **kwargs
+) -> WavefrontApplication:
+    """The one registry path every caller resolves applications through.
+
+    Accepts either a registered name (constructed via
+    :func:`get_application`, forwarding ``kwargs``) or an already-built
+    :class:`~repro.apps.base.WavefrontApplication` instance (returned as-is;
+    passing constructor ``kwargs`` alongside an instance is an error).
+    """
+    if isinstance(app, WavefrontApplication):
+        if kwargs:
+            raise UnknownApplicationError(
+                f"cannot apply constructor arguments {sorted(kwargs)} to an "
+                f"already-built application instance {app.name!r}"
+            )
+        return app
+    return get_application(app, **kwargs)
 
 
 def available_applications() -> list[str]:

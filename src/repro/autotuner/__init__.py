@@ -12,8 +12,17 @@ The workflow mirrors Figure 4 of the paper:
 4. :class:`repro.autotuner.tuner.AutoTuner` ties it together: train once per
    system ("in the factory"), then hand it previously unseen applications and
    get tuned parameter settings back.
+
+Every deployable strategy — :class:`~repro.autotuner.tuner.AutoTuner`,
+:class:`~repro.autotuner.models.LearnedTuner`,
+:class:`~repro.autotuner.measured.MeasuredTuner` and
+:class:`~repro.autotuner.protocol.ExhaustiveTuner` — speaks the common
+:class:`~repro.autotuner.protocol.Tuner` protocol
+(``resolve(app, params) -> PlanDecision``), which is all
+:class:`repro.session.Session` consumes.
 """
 
+from repro.autotuner.protocol import ExhaustiveTuner, PlanDecision, Tuner
 from repro.autotuner.search_space import SearchSpace
 from repro.autotuner.exhaustive import ExhaustiveSearch, SearchRecord, SearchResults
 from repro.autotuner.random_search import RandomSearch
@@ -35,6 +44,9 @@ from repro.autotuner.measured import (
 )
 
 __all__ = [
+    "Tuner",
+    "PlanDecision",
+    "ExhaustiveTuner",
     "SearchSpace",
     "ExhaustiveSearch",
     "SearchRecord",

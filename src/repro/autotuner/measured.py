@@ -46,10 +46,12 @@ from repro.core.params import InputParams, TunableParams
 from repro.apps.registry import available_applications, get_application
 from repro.autotuner.exhaustive import SearchRecord, SearchResults
 from repro.autotuner.models import LearnedTuner
+from repro.autotuner.protocol import PlanDecision, Tuner
 from repro.autotuner.training import TrainingSetBuilder
 from repro.hardware.calibration import constants_from_measurements
 from repro.hardware.costmodel import CostConstants
 from repro.hardware.system import SystemSpec, detect_local_system
+from repro.utils.lru import LRUCache
 from repro.utils.serialization import load_json, save_json
 
 #: Format marker written into every profile file (bumped on layout changes).
@@ -538,7 +540,13 @@ class TunedPlan:
         )
 
 
-class MeasuredTuner:
+#: Default bound of the measured tuner's per-query plan cache.  Plans are a
+#: few hundred bytes each, so the default is generous; serving sessions pass
+#: their own bound through ``plan_cache_size``.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+class MeasuredTuner(Tuner):
     """A tuner trained on measured wall-clocks of the local host.
 
     Wraps the measured profile (ground truth for profiled instances) and the
@@ -547,16 +555,23 @@ class MeasuredTuner:
     via :meth:`from_files`.
     """
 
-    def __init__(self, profile: MeasuredProfile, model: LearnedTuner) -> None:
+    kind = "measured"
+
+    def __init__(
+        self,
+        profile: MeasuredProfile,
+        model: LearnedTuner,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
         self.profile = profile
         self.model = model
         #: Tuned plans by (app, dim, tsize, dsize, system) query; the
         #: resolved backend — the remaining component of a plan's identity —
         #: is carried inside the cached :class:`TunedPlan`, so a repeated
-        #: :meth:`tune` call is one dict hit.
-        self._plan_cache: dict[
-            tuple[str, int, float | None, int | None, str], TunedPlan
-        ] = {}
+        #: :meth:`tune` call is one cache hit.  LRU-bounded so a long-lived
+        #: serving session querying many distinct instances cannot grow the
+        #: tuner without limit.
+        self._plan_cache: LRUCache = LRUCache(plan_cache_size)
 
     # ------------------------------------------------------------------
     # Construction
@@ -590,11 +605,16 @@ class MeasuredTuner:
         cls,
         profile_path: str | Path = DEFAULT_PROFILE_PATH,
         model_path: str | Path = DEFAULT_MODEL_PATH,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> "MeasuredTuner":
         """Load a persisted profile + trained model pair."""
         from repro.autotuner.persistence import load_tuner
 
-        return cls(load_profile(profile_path), load_tuner(model_path))
+        return cls(
+            load_profile(profile_path),
+            load_tuner(model_path),
+            plan_cache_size=plan_cache_size,
+        )
 
     # ------------------------------------------------------------------
     # Deployment queries
@@ -685,28 +705,60 @@ class MeasuredTuner:
         if dsize is not None:
             app_kwargs["dsize"] = dsize
         params = get_application(app, **app_kwargs).input_params(dim)
+        plan = self._plan_from_params(app, params)
+        self._plan_cache.put(query, plan)
+        return plan
+
+    def _plan_from_params(self, app: str, params: InputParams) -> TunedPlan:
+        """Resolve a :class:`TunedPlan` for explicit instance parameters."""
         anchor = self.nearest_instance(params, app)
         best = self.profile.best(anchor, app=app)
         predicted = self.model.predict(params.features())
         tunables, workers, expected = self._snap_tile(
             best.backend, anchor, predicted.cpu_tile, app
         )
-        plan = TunedPlan(
+        return TunedPlan(
             app=app,
-            dim=int(dim),
+            dim=params.dim,
             system=self.profile.system,
             backend=best.backend,
             workers=workers,
-            tunables=replace(tunables, cpu_tile=min(tunables.cpu_tile, dim)),
+            tunables=replace(tunables, cpu_tile=min(tunables.cpu_tile, params.dim)),
             expected_s=expected,
             best_measured_s=best.wall_s,
         )
-        self._plan_cache[query] = plan
-        return plan
+
+    def resolve(self, app: str, params: InputParams) -> PlanDecision:
+        """The :class:`~repro.autotuner.protocol.Tuner` protocol entry point.
+
+        Same resolution as :meth:`tune` — measured-best backend at the
+        nearest profiled instance, learned tile snapped onto the measured
+        grid — but keyed directly on the caller's
+        :class:`~repro.core.params.InputParams`, so the session can resolve
+        app instances it built itself without another registry round-trip.
+        """
+        query = (app, params, self.profile.system)
+        plan = self._plan_cache.get(query)
+        if plan is None:
+            plan = self._plan_from_params(app, params)
+            self._plan_cache.put(query, plan)
+        return PlanDecision(
+            backend=plan.backend,
+            tunables=plan.tunables,
+            workers=plan.workers,
+            expected_s=plan.expected_s,
+        )
+
+    def describe(self) -> str:
+        """One-line description including profile provenance."""
+        return (
+            f"measured tuner for {self.profile.system} "
+            f"({len(self.profile)} profiled records)"
+        )
 
     def cache_info(self) -> dict[str, int]:
-        """Size of the tuned-plan cache (observability for tests/docs)."""
-        return {"plans": len(self._plan_cache)}
+        """Size and hit statistics of the tuned-plan cache."""
+        return {"plans": len(self._plan_cache), **self._plan_cache.info()}
 
 
 def train_measured_tuner(

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.core.exceptions import ModelNotFittedError, SearchError
 from repro.core.parameter_space import PAPER_CPU_TILES
-from repro.core.params import TunableParams
+from repro.core.params import InputParams, TunableParams
+from repro.autotuner.protocol import PlanDecision, Tuner
 from repro.autotuner.training import TrainingSet, INPUT_FEATURES
 from repro.ml.svm import LinearSVM
 from repro.ml.tree.m5p import M5ModelTree
@@ -41,8 +42,10 @@ def _snap(value: float, allowed: tuple[int, ...]) -> int:
 
 
 @dataclass
-class LearnedTuner:
+class LearnedTuner(Tuner):
     """The fitted gate + per-parameter models for one system."""
+
+    kind = "learned-model"
 
     system_name: str
     supports_gpu: bool = True
@@ -149,6 +152,23 @@ class LearnedTuner:
         return TunableParams.from_encoding(
             cpu_tile=cpu_tile, band=band, halo=halo, gpu_tile=gpu_tile
         ).clipped(dim)
+
+    def resolve(self, app: str, params: InputParams) -> PlanDecision:
+        """The :class:`~repro.autotuner.protocol.Tuner` protocol entry point.
+
+        A bare model bundle carries no cost model or profile, so the answer
+        is the predicted tunables on the hybrid executor with no runtime
+        estimate and the default engine selection left to the runtime.
+        """
+        tunables = self.predict(params.features())
+        return PlanDecision(
+            backend="hybrid", tunables=tunables.clipped(params.dim), workers=1
+        )
+
+    def describe(self) -> str:
+        """One-line description including origin system and fit state."""
+        state = "fitted" if self.fitted else "unfitted"
+        return f"learned model bundle from {self.system_name} ({state})"
 
     # ------------------------------------------------------------------
     # Persistence / reporting

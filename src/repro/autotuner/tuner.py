@@ -26,6 +26,7 @@ from repro.core.pattern import WavefrontProblem
 from repro.apps.base import WavefrontApplication
 from repro.autotuner.exhaustive import ExhaustiveSearch, SearchResults
 from repro.autotuner.models import LearnedTuner
+from repro.autotuner.protocol import PlanDecision, Tuner
 from repro.autotuner.training import TrainingSetBuilder, TrainingSet
 from repro.hardware.costmodel import CostConstants, CostModel
 from repro.hardware.system import SystemSpec
@@ -44,8 +45,10 @@ class ValidationSummary:
     per_instance: dict[InputParams, float] = field(default_factory=dict)
 
 
-class AutoTuner:
+class AutoTuner(Tuner):
     """Machine-learning autotuner for one target system."""
+
+    kind = "learned"
 
     def __init__(
         self,
@@ -131,6 +134,30 @@ class AutoTuner:
         """Tuned parameters plus the selected CPU-phase engine backend."""
         return self.tune(target), self.select_engine(target)
 
+    def resolve(self, app: str, params: InputParams) -> PlanDecision:
+        """The :class:`~repro.autotuner.protocol.Tuner` protocol entry point.
+
+        Answers with the hybrid three-phase executor under the learned
+        tunables and the cost-model-selected CPU engine — exactly the
+        configuration the historical :func:`autotune_and_run` helper built
+        by hand.  ``app`` is accepted for protocol compatibility; the
+        cost-model tuner is application-blind by design (an instance *is*
+        its (dim, tsize, dsize) signature).
+        """
+        tunables, engine = self.tune_with_engine(params)
+        return PlanDecision(
+            backend="hybrid",
+            tunables=tunables.clipped(params.dim),
+            workers=1,
+            engine=engine,
+            expected_s=self.predicted_rtime(params, tunables),
+        )
+
+    def describe(self) -> str:
+        """One-line description including system and training state."""
+        state = "trained" if self.trained else "untrained"
+        return f"learned cost-model tuner for {self.system.name} ({state})"
+
     def select_cpu_backend(self, target) -> tuple[str, int]:
         """Pick the CPU backend and its worker count for an instance.
 
@@ -203,9 +230,10 @@ class AutoTuner:
 
 
 # ----------------------------------------------------------------------
-# Convenience entry point
+# Deprecated convenience entry point (kept as a Session shim)
 # ----------------------------------------------------------------------
-_TUNER_CACHE: dict[str, AutoTuner] = {}
+#: Sessions reused across calls, keyed by (system name, tuner identity).
+_SESSION_CACHE: dict = {}
 
 
 def autotune_and_run(
@@ -215,20 +243,39 @@ def autotune_and_run(
     tuner: AutoTuner | None = None,
     use_cache: bool = True,
 ) -> ExecutionResult:
-    """Train (or reuse) a tuner for ``system``, tune ``app`` and execute it.
+    """Deprecated: tune ``app`` for ``system`` and execute it in one call.
+
+    Thin shim over :class:`repro.session.Session` — equivalent to
+    ``Session(system=system, tuner=tuner or "learned").solve(app,
+    mode=mode)`` — kept so pre-session code and the paper-era examples keep
+    running.  New code should hold a session (plan reuse, persistent pools,
+    bounded caches) instead of paying a fresh lookup per call.
 
     ``mode`` defaults to ``simulate`` because the functional mode really
     computes every cell and is only sensible for small grids; the quickstart
     example shows both.
     """
-    problem = app.problem() if isinstance(app, WavefrontApplication) else app
-    if tuner is None:
-        if use_cache and system.name in _TUNER_CACHE:
-            tuner = _TUNER_CACHE[system.name]
-        else:
-            tuner = AutoTuner.quick(system)
-            if use_cache:
-                _TUNER_CACHE[system.name] = tuner
-    tunables, engine = tuner.tune_with_engine(problem)
-    executor = HybridExecutor(system, tuner.constants, cpu_engine=engine)
-    return executor.execute(problem, tunables, mode=mode)
+    import warnings
+
+    warnings.warn(
+        "autotune_and_run() is deprecated; use repro.Session "
+        "(session.solve(app, dim)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import Session
+
+    target = app.problem() if isinstance(app, WavefrontApplication) else app
+    if not use_cache:
+        # Ephemeral session: close it so worker pools and shared-memory
+        # segments never outlive the call (the old helper's behaviour).
+        with Session(
+            system=system, tuner=tuner if tuner is not None else "learned"
+        ) as session:
+            return session.solve(target, mode=mode)
+    key = (system.name, id(tuner) if tuner is not None else None)
+    session = _SESSION_CACHE.get(key)
+    if session is None:
+        session = Session(system=system, tuner=tuner if tuner is not None else "learned")
+        _SESSION_CACHE[key] = session
+    return session.solve(target, mode=mode)

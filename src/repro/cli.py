@@ -1,28 +1,40 @@
 """Command-line interface to the autotuning framework.
 
-Five subcommands cover the deployment workflow of the paper plus the
-reproduction's own benchmarking and the measured-profile pipeline:
+Every verb is a thin adapter over :class:`repro.session.Session` — the CLI
+contains no tuner or backend construction of its own, so anything it does
+can be reproduced programmatically with a few session calls.  The five
+workflow verbs:
 
-* ``repro-tune systems`` — list the built-in Table 4 platforms (plus the
-  introspected ``local`` host);
-* ``repro-tune sweep --system i7-2600K`` — run the exhaustive sweep of the
-  synthetic application and print the Figure 5 band heatmap;
+* ``repro-tune run --app lcs --dim 256`` — plan one application instance
+  through the session's tuner and execute it (``--plan-out`` saves the
+  resolved plan as JSON, ``--replay`` executes a previously saved plan);
 * ``repro-tune tune --system i7-3820 --app nash-equilibrium --dim 1900`` —
-  train the autotuner and print the tuned parameter settings (optionally
+  resolve and print the tuned plan without executing (optionally
   saving/loading the trained model so training happens only once);
-  ``--system local`` instead loads the *measured* model produced by
-  ``profile`` and answers from real wall-clocks;
+  ``--system local`` answers from the *measured* model produced by
+  ``profile``;
 * ``repro-tune bench --dim 512`` — functionally execute every registered
-  executor x application pair, print the wall-clock speedup table and write
-  the raw measurements as JSON under ``benchmarks/results/``;
-* ``repro-tune profile`` — time the live CPU backends on this machine, train
-  a tuner on the measured wall-clocks, and write the profile, the model and
-  the predicted-vs-measured report under ``benchmarks/results/``
-  (``--quick`` keeps it within a CI-friendly budget).
+  executor x application pair through manual session plans, print the
+  wall-clock speedup table and write the raw measurements as JSON under
+  ``benchmarks/results/``;
+* ``repro-tune profile`` — time the live CPU backends on this machine,
+  train a tuner on the measured wall-clocks, and write the profile, the
+  model and the predicted-vs-measured report (``--quick`` keeps it within
+  a CI-friendly budget);
+* ``repro-tune report`` — render analysis reports: the Figure 5 band/halo
+  heatmaps of an exhaustive sweep (``--kind heatmap``) or the Figure 7
+  predicted-vs-measured summary of the local profile (``--kind measured``).
 
-The same interface is available as ``python -m repro``.  The CLI is
-intentionally thin: it only wires command-line arguments to the public
-library API, so everything it does can also be done programmatically.
+Two auxiliary verbs: ``systems`` lists the Table 4 platforms plus the
+introspected local host, and ``sweep`` survives as a deprecated alias of
+``report --kind heatmap``.
+
+Error handling is centralised in :func:`main`: every
+:class:`repro.core.exceptions.ReproError` subclass maps to one exit code
+(usage errors 2, missing artifacts 3, other framework errors 1) in exactly
+one place.
+
+The same interface is available as ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -35,23 +47,35 @@ from pathlib import Path
 
 from repro.analysis.heatmap import build_heatmap
 from repro.analysis.report import render_heatmap
-from repro.apps.registry import available_applications, get_application
-from repro.autotuner.exhaustive import ExhaustiveSearch
+from repro.apps.registry import available_applications
 from repro.autotuner.measured import (
     DEFAULT_MODEL_PATH,
     DEFAULT_PROFILE_PATH,
     DEFAULT_REPORT_PATH,
 )
-from repro.autotuner.persistence import load_tuner, save_tuner
-from repro.autotuner.tuner import AutoTuner
+from repro.core.exceptions import (
+    ArtifactError,
+    RegistryError,
+    ReproError,
+    UsageError,
+)
 from repro.core.parameter_space import ParameterSpace
 from repro.core.params import TunableParams
+from repro.facade.plan import load_plan, save_plan
+from repro.facade.tuners import TUNER_KINDS
 from repro.hardware import platforms
+from repro.session import Session
 from repro.utils.logging import configure_logging
 from repro.version import __version__
 
 #: Default location of the bench JSON output, relative to the working dir.
 DEFAULT_BENCH_DIR = Path("benchmarks") / "results"
+
+#: Exit codes of :func:`main`'s central error mapping.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_ARTIFACT = 3
 
 
 def _space(name: str) -> ParameterSpace:
@@ -63,7 +87,14 @@ def _space(name: str) -> ParameterSpace:
     try:
         return spaces[name]()
     except KeyError:
-        raise SystemExit(f"unknown parameter space {name!r}; choose from {sorted(spaces)}")
+        raise UsageError(
+            f"unknown parameter space {name!r}; choose from {sorted(spaces)}"
+        ) from None
+
+
+def _add_system_arg(parser: argparse.ArgumentParser, default: str, local: bool) -> None:
+    choices = sorted(platforms.SYSTEMS_BY_NAME) + (["local"] if local else [])
+    parser.add_argument("--system", default=default, choices=choices)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,26 +120,53 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
 
-    sweep = sub.add_parser(
-        "sweep",
-        help="exhaustive sweep of the synthetic application",
-        description="Run the exhaustive (simulate-mode) sweep of the synthetic "
-        "application on one platform and print the Figure 5 band/halo heatmaps.",
+    run = sub.add_parser(
+        "run",
+        help="plan one application instance through the session and execute it",
+        description="Build a Session, resolve a tuned (or explicitly pinned) "
+        "plan for one application instance, and execute it.  The resolved "
+        "plan is inspectable and can be saved with --plan-out and replayed "
+        "later with --replay.",
         epilog="examples:\n"
-        "  repro-tune sweep --system i7-2600K\n"
-        "  repro-tune sweep --system i7-3820 --space paper --dsize 5",
+        "  repro-tune run --app lcs --dim 256\n"
+        "  repro-tune run --app synthetic --dim 128 --tuner exhaustive --mode simulate\n"
+        "  repro-tune run --app lcs --dim 128 --backend mp-parallel --workers 2\n"
+        "  repro-tune run --app lcs --dim 256 --plan-out plan.json\n"
+        "  repro-tune run --replay plan.json --verify",
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    sweep.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
-    sweep.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
-    sweep.add_argument("--dsize", type=int, default=1, help="element payload size slice to report")
+    _add_system_arg(run, "local", local=True)
+    run.add_argument("--app", default=None, choices=available_applications())
+    run.add_argument("--dim", type=int, default=None, help="problem size (grid side length)")
+    run.add_argument(
+        "--tuner",
+        default="learned",
+        choices=TUNER_KINDS,
+        help="tuning strategy resolving the plan (default: learned)",
+    )
+    run.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
+    run.add_argument(
+        "--mode",
+        default="functional",
+        choices=("functional", "simulate"),
+        help="really compute the grid, or evaluate the cost model only",
+    )
+    run.add_argument("--backend", default=None, help="pin an executor strategy (bypasses the tuner)")
+    run.add_argument("--workers", type=int, default=None, help="worker processes for multicore backends")
+    run.add_argument("--plan-out", type=Path, default=None, help="save the resolved plan as JSON")
+    run.add_argument("--replay", type=Path, default=None, help="execute a previously saved plan")
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the serial reference and compare grids (functional mode)",
+    )
 
     tune = sub.add_parser(
         "tune",
-        help="train (or load) the tuner and tune one application instance",
-        description="Train the M5P-based autotuner on the synthetic sweep (or "
-        "load a previously saved model), then predict tuned parameters for one "
-        "application instance and report the expected speedup.  With "
+        help="train (or load) the tuner and plan one application instance",
+        description="Resolve the tuned plan for one application instance "
+        "through a Session without executing it.  The learned tuner trains "
+        "on the synthetic sweep (or loads a previously saved model); with "
         "--system local the measured model produced by 'repro-tune profile' "
         "is loaded instead and answers come from real wall-clocks.",
         epilog="examples:\n"
@@ -119,11 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "  repro-tune tune --system local --app lcs --dim 512   # measured model",
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    tune.add_argument(
-        "--system",
-        default="i7-2600K",
-        choices=sorted(platforms.SYSTEMS_BY_NAME) + ["local"],
-    )
+    _add_system_arg(tune, "i7-2600K", local=True)
     tune.add_argument(
         "--profile-file",
         type=Path,
@@ -143,15 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time every executor x application pair (functional mode)",
         description="Functionally execute every registered executor on every "
-        "registered application, verify each grid against the serial reference, "
-        "print the wall-clock speedup table and write the raw timings as JSON.",
+        "registered application through explicit session plans, verify each "
+        "grid against the serial reference, print the wall-clock speedup "
+        "table and write the raw timings as JSON.",
         epilog="examples:\n"
         "  repro-tune bench --dim 512\n"
         "  repro-tune bench --dim 256 --apps synthetic,lcs --executors serial,vectorized\n"
         "  repro-tune bench --dim 512 --repeats 5 --out benchmarks/results/engine_bench.json",
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    bench.add_argument("--system", default="i7-2600K", choices=sorted(platforms.SYSTEMS_BY_NAME))
+    _add_system_arg(bench, "i7-2600K", local=False)
     bench.add_argument("--dim", type=int, default=256, help="grid side length for every pair")
     bench.add_argument(
         "--apps",
@@ -228,114 +283,225 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_REPORT_PATH,
         help=f"predicted-vs-measured report path (default: {DEFAULT_REPORT_PATH})",
     )
+
+    report = sub.add_parser(
+        "report",
+        help="render analysis reports (Figure 5 heatmaps, measured summary)",
+        description="Render analysis reports through the session: "
+        "--kind heatmap sweeps the synthetic application exhaustively and "
+        "prints the Figure 5 band/halo heatmaps; --kind measured re-renders "
+        "the Figure 7-style predicted-vs-measured report from the artifacts "
+        "'repro-tune profile' wrote.",
+        epilog="examples:\n"
+        "  repro-tune report --system i7-2600K\n"
+        "  repro-tune report --system i7-3820 --space paper --dsize 5\n"
+        "  repro-tune report --kind measured",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_report_args(report)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="deprecated alias of 'report --kind heatmap'",
+        description="Deprecated alias of 'report --kind heatmap' (kept for "
+        "pre-session scripts).",
+    )
+    _add_report_args(sweep)
     return parser
 
 
-def cmd_systems() -> int:
+def _add_report_args(parser: argparse.ArgumentParser) -> None:
+    """Shared arguments of the ``report`` verb and its ``sweep`` alias."""
+    parser.add_argument(
+        "--kind",
+        default="heatmap",
+        choices=("heatmap", "measured"),
+        help="which report to render (default: heatmap)",
+    )
+    _add_system_arg(parser, "i7-2600K", local=False)
+    parser.add_argument("--space", default="reduced", choices=("paper", "reduced", "tiny"))
+    parser.add_argument("--dsize", type=int, default=1, help="element payload size slice to report")
+    parser.add_argument(
+        "--profile-file",
+        type=Path,
+        default=DEFAULT_PROFILE_PATH,
+        help="measured profile JSON for --kind measured",
+    )
+    parser.add_argument(
+        "--model-file",
+        type=Path,
+        default=DEFAULT_MODEL_PATH,
+        help="trained measured model for --kind measured",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the measured report here instead of a temporary rendering",
+    )
+
+
+# ----------------------------------------------------------------------
+# Verb implementations (each a thin adapter over the Session facade)
+# ----------------------------------------------------------------------
+def cmd_systems(args: argparse.Namespace) -> int:
     """The ``systems`` verb: list the Table 4 platforms and the local host."""
     for system in platforms.ALL_SYSTEMS:
         print(system.describe())
         print()
     print(platforms.resolve_system("local").describe())
     print("  (introspected host — target of 'repro-tune profile' / '--system local')")
-    return 0
+    return EXIT_OK
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """The ``sweep`` verb: exhaustive simulate-mode sweep + Figure 5 heatmaps."""
-    system = platforms.get_system(args.system)
-    results = ExhaustiveSearch(system, _space(args.space)).sweep()
-    print(f"{len(results)} configuration points over {len(results.instances())} instances\n")
-    print(render_heatmap(build_heatmap(results, dsize=args.dsize, quantity="band")))
-    if system.max_usable_gpus >= 2:
-        print()
-        print(render_heatmap(build_heatmap(results, dsize=args.dsize, quantity="halo")))
-    return 0
+def _session_for(args: argparse.Namespace, tuner: str | None = None) -> Session:
+    """Build the session behind one CLI invocation."""
+    return Session(
+        system=args.system,
+        tuner=tuner if tuner is not None else getattr(args, "tuner", "learned"),
+        space=_space(args.space) if hasattr(args, "space") else None,
+        model_path=getattr(args, "load_model", None),
+        profile_path=getattr(args, "profile_file", None),
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """The ``run`` verb: plan through the session, execute, report."""
+    if args.replay is None and args.app is None:
+        raise UsageError("run needs --app (or --replay with a saved plan)")
+    with _session_for(args) as session:
+        if args.replay is not None:
+            plan = load_plan(args.replay)
+            print(f"replaying plan from {args.replay}")
+        else:
+            plan_kwargs: dict = {}
+            if args.backend is not None:
+                if args.dim is None:
+                    raise UsageError("--backend needs an explicit --dim")
+                tunables = _bench_tunables(
+                    args.backend, args.dim, session.system.max_usable_gpus
+                )
+                if tunables is None:
+                    raise UsageError(
+                        f"backend {args.backend!r} cannot run on system "
+                        f"{session.system.name!r}"
+                    )
+                plan_kwargs["backend"] = args.backend
+                plan_kwargs["tunables"] = tunables
+            if args.workers is not None:
+                plan_kwargs["workers"] = args.workers
+            plan = session.plan(args.app, args.dim, **plan_kwargs)
+        print(f"plan: {plan.describe()}")
+        if args.plan_out is not None:
+            save_plan(plan, args.plan_out)
+            print(f"wrote plan to {args.plan_out}")
+
+        result = session.run(plan, mode=args.mode)
+        print(
+            f"executed: mode={result.mode}, rtime={result.rtime:.6f}s, "
+            f"wall={result.wall_time:.6f}s"
+        )
+        if result.grid is not None:
+            print(f"answer cell: {result.value:.6g}  (checksum {result.checksum:.6g})")
+        if args.verify:
+            if result.grid is None:
+                raise UsageError("--verify needs --mode functional")
+            reference = session.solve(
+                plan.app,
+                plan.dim,
+                backend="serial",
+                mode="functional",
+                **plan.app_options,
+            )
+            ok = result.matches(reference)
+            print(f"serial verification: {'OK' if ok else 'MISMATCH'}")
+            if not ok:
+                return EXIT_ERROR
+    return EXIT_OK
 
 
 def cmd_tune_local(args: argparse.Namespace) -> int:
     """The measured-model deployment path (``tune --system local``)."""
-    from repro.autotuner.measured import MeasuredTuner
-
     if args.save_model is not None:
         print("note: --save-model is ignored with --system local (nothing is trained)")
-    profile_path = args.profile_file or DEFAULT_PROFILE_PATH
-    model_path = args.load_model or DEFAULT_MODEL_PATH
-    try:
-        tuner = MeasuredTuner.from_files(profile_path, model_path)
-    except FileNotFoundError as exc:
-        raise SystemExit(
-            f"missing measured artifact ({exc.filename}); run 'repro-tune profile' first"
-        )
-    print(f"loaded measured profile {profile_path} ({len(tuner.profile)} records)")
-    print(f"loaded measured model   {model_path}")
+    session = _session_for(args, tuner="measured")
+    with session:
+        tuner = session.tuner  # raises ArtifactError when artifacts are missing
+        profile_path = args.profile_file or DEFAULT_PROFILE_PATH
+        model_path = args.load_model or DEFAULT_MODEL_PATH
+        print(f"loaded measured profile {profile_path} ({len(tuner.profile)} records)")
+        print(f"loaded measured model   {model_path}")
 
-    # --tsize/--dsize override the synthetic app's granularity, exactly as in
-    # the simulated-system path.
-    overrides = {}
+        overrides = _synthetic_overrides(args)
+        plan = session.plan(args.app, args.dim, **overrides)
+        params = plan.params
+        print(
+            f"\napplication: {args.app}  "
+            f"(dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})"
+        )
+        print(f"tuned plan: {plan.describe()}")
+        anchor = tuner.nearest_instance(params, args.app)
+        if anchor != params:
+            print(
+                f"  (nearest profiled instance: dim={anchor.dim}, "
+                f"tsize={anchor.tsize:g}, dsize={anchor.dsize})"
+            )
+        serial = tuner.profile.serial_time(anchor, app=args.app)
+        print(
+            f"measured serial reference: {serial * 1e3:.2f} ms "
+            f"({serial / plan.expected_s:.1f}x speedup expected)"
+        )
+    return EXIT_OK
+
+
+def _synthetic_overrides(args: argparse.Namespace) -> dict:
+    """--tsize/--dsize overrides (honoured for the synthetic app only)."""
+    overrides: dict = {}
     if args.app == "synthetic":
         if args.tsize is not None:
             overrides["tsize"] = args.tsize
         if args.dsize is not None:
             overrides["dsize"] = args.dsize
-    plan = tuner.tune(args.app, args.dim, **overrides)
-    params = get_application(args.app, dim=args.dim, **overrides).input_params(args.dim)
-    print(
-        f"\napplication: {args.app}  "
-        f"(dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})"
-    )
-    print(f"tuned plan: {plan.describe()}")
-    anchor = tuner.nearest_instance(params, args.app)
-    if anchor != params:
-        print(
-            f"  (nearest profiled instance: dim={anchor.dim}, "
-            f"tsize={anchor.tsize:g}, dsize={anchor.dsize})"
-        )
-    serial = tuner.profile.serial_time(anchor, app=args.app)
-    print(
-        f"measured serial reference: {serial * 1e3:.2f} ms "
-        f"({serial / plan.expected_s:.1f}x speedup expected)"
-    )
-    return 0
+    return overrides
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    """The ``tune`` verb: simulated Table 4 systems or the measured local host."""
+    """The ``tune`` verb: resolve and print a tuned plan (no execution)."""
     if args.system == "local":
         return cmd_tune_local(args)
-    system = platforms.get_system(args.system)
-    tuner = AutoTuner(system, space=_space(args.space))
-    if args.load_model is not None:
-        tuner.model = load_tuner(args.load_model)
-        print(f"loaded trained models from {args.load_model}")
-    else:
-        print(f"training the autotuner for {system.name} ...")
-        tuner.train()
-        print(
-            f"  held-out efficiency: mean {tuner.validation.mean_efficiency:.1%}, "
-            f"min {tuner.validation.min_efficiency:.1%}"
-        )
-        if args.save_model is not None:
-            save_tuner(tuner.model, args.save_model)
-            print(f"  saved trained models to {args.save_model}")
+    session = _session_for(args, tuner="learned")
+    with session:
+        if args.load_model is not None:
+            tuner = session.tuner
+            print(f"loaded trained models from {args.load_model}")
+        else:
+            print(f"training the autotuner for {session.system.name} ...")
+            tuner = session.tuner
+            if tuner.validation is not None:
+                print(
+                    f"  held-out efficiency: mean {tuner.validation.mean_efficiency:.1%}, "
+                    f"min {tuner.validation.min_efficiency:.1%}"
+                )
+            if args.save_model is not None:
+                session.save_model(args.save_model)
+                print(f"  saved trained models to {args.save_model}")
 
-    app_kwargs = {"dim": args.dim}
-    if args.app == "synthetic":
-        if args.tsize is not None:
-            app_kwargs["tsize"] = args.tsize
-        if args.dsize is not None:
-            app_kwargs["dsize"] = args.dsize
-    app = get_application(args.app, **app_kwargs)
-    problem = app.problem(args.dim)
-    params = problem.input_params()
-    config = tuner.tune(params)
-    engine = tuner.select_engine(params)
-    print(f"\napplication: {problem.name}  (dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})")
-    print(f"tuned configuration: {config.describe()}  [cpu engine: {engine}]")
-    rtime = tuner.predicted_rtime(params, config)
-    serial = tuner.cost_model.baseline_serial(params)
-    print(f"predicted runtime: {rtime:.3f}s  (serial baseline {serial:.3f}s, {serial / rtime:.1f}x speedup)")
-    return 0
+        plan = session.plan(args.app, args.dim, **_synthetic_overrides(args))
+        params = plan.params
+        print(
+            f"\napplication: {plan.app}  "
+            f"(dim={params.dim}, tsize={params.tsize:g}, dsize={params.dsize})"
+        )
+        strategy, engine = plan.split()
+        print(
+            f"tuned configuration: {plan.tunables.describe()}  [cpu engine: {engine}]"
+        )
+        serial = tuner.cost_model.baseline_serial(params)
+        print(
+            f"predicted runtime: {plan.expected_s:.3f}s  "
+            f"(serial baseline {serial:.3f}s, {serial / plan.expected_s:.1f}x speedup)"
+        )
+    return EXIT_OK
 
 
 def _bench_tunables(executor: str, dim: int, max_gpus: int) -> TunableParams | None:
@@ -369,10 +535,9 @@ def _bench_tunables(executor: str, dim: int, max_gpus: int) -> TunableParams | N
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """The ``bench`` verb: wall-clock the executor x application grid."""
-    # Imported here so `repro-tune --help` stays snappy.
-    from repro.runtime.registry import available_executors, get_executor
+    # Enumeration only — construction happens inside the session.
+    from repro.runtime.registry import available_executors
 
-    system = platforms.get_system(args.system)
     app_names = (
         available_applications() if args.apps == "all" else args.apps.split(",")
     )
@@ -380,18 +545,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         available_executors() if args.executors == "all" else args.executors.split(",")
     )
     if args.repeats < 1:
-        raise SystemExit("--repeats must be >= 1")
+        raise UsageError("--repeats must be >= 1")
     unknown = set(app_names) - set(available_applications())
     if unknown:
-        raise SystemExit(f"unknown applications: {sorted(unknown)}")
+        raise UsageError(f"unknown applications: {sorted(unknown)}")
     unknown = set(executor_names) - set(available_executors())
     if unknown:
-        raise SystemExit(f"unknown executors: {sorted(unknown)}")
+        raise UsageError(f"unknown executors: {sorted(unknown)}")
     if "serial" in executor_names:
         # The serial reference must run first so every later executor can be
         # verified against its grid and reported as a speedup over it.
         executor_names = ["serial"] + [n for n in executor_names if n != "serial"]
 
+    session = Session(system=args.system, mode="functional")
+    system = session.system
     records = []
     print(
         f"bench: {len(app_names)} applications x {len(executor_names)} executors, "
@@ -400,50 +567,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     header = f"{'application':<20} {'executor':<18} {'best wall [s]':>13} {'vs serial':>10}  ok"
     print(header)
     print("-" * len(header))
-    for app_name in app_names:
-        app = get_application(app_name, dim=args.dim)
-        problem = app.problem(args.dim)
-        reference = None
-        serial_best = None
-        for executor_name in executor_names:
-            tunables = _bench_tunables(executor_name, args.dim, system.max_usable_gpus)
-            if tunables is None:
-                continue
-            kwargs = {}
-            if executor_name == "mp-parallel" and args.workers is not None:
-                kwargs["workers"] = args.workers
-            executor = get_executor(executor_name, system, **kwargs)
-            walls = []
-            result = None
-            for _ in range(args.repeats):
-                t0 = time.perf_counter()
-                result = executor.execute(problem, tunables, mode="functional")
-                walls.append(time.perf_counter() - t0)
-            best = min(walls)
-            if executor_name == "serial":
-                reference = result.grid
-                serial_best = best
-            matches = bool(reference.allclose(result.grid)) if reference is not None else None
-            speedup = serial_best / best if serial_best else None
-            records.append(
-                {
-                    "application": app_name,
-                    "executor": executor_name,
-                    "dim": args.dim,
-                    "wall_s_best": best,
-                    "wall_s_all": walls,
-                    "rtime_s": result.rtime,
-                    "cells": problem.input_params().cells,
-                    "speedup_vs_serial": speedup,
-                    "matches_serial": matches,
-                    "workers": result.stats.get("workers"),
-                }
-            )
-            speedup_text = f"{speedup:9.2f}x" if speedup else f"{'n/a':>10}"
-            ok_text = {True: "yes", False: "NO", None: "-"}[matches]
-            print(
-                f"{app_name:<20} {executor_name:<18} {best:13.6f} {speedup_text}  {ok_text}"
-            )
+    with session:
+        for app_name in app_names:
+            reference = None
+            serial_best = None
+            for executor_name in executor_names:
+                tunables = _bench_tunables(executor_name, args.dim, system.max_usable_gpus)
+                if tunables is None:
+                    continue
+                plan_kwargs: dict = {"backend": executor_name, "tunables": tunables}
+                if executor_name == "hybrid":
+                    # The paper's tiled serial CPU phases (the historical
+                    # bench configuration), not the session's default engine.
+                    plan_kwargs["engine"] = "serial"
+                if executor_name == "mp-parallel" and args.workers is not None:
+                    plan_kwargs["workers"] = args.workers
+                plan = session.plan(app_name, args.dim, **plan_kwargs)
+                walls = []
+                result = None
+                for _ in range(args.repeats):
+                    t0 = time.perf_counter()
+                    result = session.run(plan)
+                    walls.append(time.perf_counter() - t0)
+                best = min(walls)
+                if executor_name == "serial":
+                    reference = result.grid
+                    serial_best = best
+                matches = bool(reference.allclose(result.grid)) if reference is not None else None
+                speedup = serial_best / best if serial_best else None
+                records.append(
+                    {
+                        "application": app_name,
+                        "executor": executor_name,
+                        "dim": args.dim,
+                        "wall_s_best": best,
+                        "wall_s_all": walls,
+                        "rtime_s": result.rtime,
+                        "cells": plan.params.cells,
+                        "speedup_vs_serial": speedup,
+                        "matches_serial": matches,
+                        "workers": result.stats.get("workers"),
+                    }
+                )
+                speedup_text = f"{speedup:9.2f}x" if speedup else f"{'n/a':>10}"
+                ok_text = {True: "yes", False: "NO", None: "-"}[matches]
+                print(
+                    f"{app_name:<20} {executor_name:<18} {best:13.6f} {speedup_text}  {ok_text}"
+                )
     mismatches = [r for r in records if r["matches_serial"] is False]
 
     out = args.out
@@ -467,8 +637,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nwrote {len(records)} measurements to {out}")
     if mismatches:
         print(f"ERROR: {len(mismatches)} executor results did not match the serial reference")
-        return 1
-    return 0
+        return EXIT_ERROR
+    return EXIT_OK
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -476,7 +646,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.analysis.measured import write_measured_report
-    from repro.autotuner.measured import MeasuredTuner, ProfileConfig, profile_host, save_profile
+    from repro.autotuner.measured import ProfileConfig, save_profile
+    from repro.autotuner.persistence import save_tuner
 
     config = ProfileConfig.quick() if args.quick else ProfileConfig()
     overrides = {}
@@ -491,42 +662,115 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if overrides:
         config = replace(config, **overrides)
 
-    system = platforms.resolve_system("local")
-    print(system.describe())
-    print(
-        f"\nprofiling {len(config.apps)} applications x {len(config.dims)} dims "
-        f"on {len(config.backends)} backends "
-        f"(repeats={config.repeats}, budget={config.budget_s:g}s) ...\n"
-    )
-    profile = profile_host(system, config, progress=print)
-    save_profile(profile, args.out)
-    print(f"\nwrote {len(profile)} measured records to {args.out}")
+    with Session(system="local") as session:
+        system = session.system
+        print(system.describe())
+        print(
+            f"\nprofiling {len(config.apps)} applications x {len(config.dims)} dims "
+            f"on {len(config.backends)} backends "
+            f"(repeats={config.repeats}, budget={config.budget_s:g}s) ...\n"
+        )
+        profile = session.profile(config, progress=print)
+        save_profile(profile, args.out)
+        print(f"\nwrote {len(profile)} measured records to {args.out}")
 
-    tuner = MeasuredTuner.train(profile)
-    save_tuner(tuner.model, args.model_out)
-    print(f"wrote trained measured tuner to {args.model_out}")
+        tuner = session.train_measured(profile)
+        save_tuner(tuner.model, args.model_out)
+        print(f"wrote trained measured tuner to {args.model_out}")
 
-    report_path = write_measured_report(args.report_out, profile, tuner, system)
-    print(f"wrote predicted-vs-measured report to {report_path}\n")
-    print(report_path.read_text(encoding="utf-8"))
-    return 0
+        report_path = write_measured_report(args.report_out, profile, tuner, system)
+        print(f"wrote predicted-vs-measured report to {report_path}\n")
+        print(report_path.read_text(encoding="utf-8"))
+    return EXIT_OK
+
+
+def cmd_report(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
+    """The ``report`` verb: render the heatmap or measured report."""
+    if deprecated_alias:
+        print(
+            "note: 'sweep' is deprecated; use 'repro-tune report --kind heatmap'\n",
+            file=sys.stderr,
+        )
+    if args.kind == "measured":
+        return _report_measured(args)
+    with Session(system=args.system, tuner="exhaustive") as session:
+        results = session.sweep(_space(args.space))
+        print(
+            f"{len(results)} configuration points over "
+            f"{len(results.instances())} instances\n"
+        )
+        print(render_heatmap(build_heatmap(results, dsize=args.dsize, quantity="band")))
+        if session.system.max_usable_gpus >= 2:
+            print()
+            print(render_heatmap(build_heatmap(results, dsize=args.dsize, quantity="halo")))
+    return EXIT_OK
+
+
+def _report_measured(args: argparse.Namespace) -> int:
+    """Re-render the predicted-vs-measured report from persisted artifacts."""
+    import tempfile
+
+    from repro.analysis.measured import write_measured_report
+    from repro.facade.tuners import make_tuner
+
+    if args.system != "i7-2600K":  # a non-default --system was requested
+        print(
+            "note: --kind measured always renders the local host's profile; "
+            f"--system {args.system} is ignored",
+            file=sys.stderr,
+        )
+    with Session(system="local") as session:
+        tuner = make_tuner(
+            "measured",
+            session.system,
+            model_path=args.model_file,
+            profile_path=args.profile_file,
+        )
+        out = args.out
+        if out is None:
+            out = Path(tempfile.gettempdir()) / "repro_measured_report.txt"
+        report_path = write_measured_report(out, tuner.profile, tuner, session.system)
+        print(report_path.read_text(encoding="utf-8"))
+        if args.out is not None:
+            print(f"wrote predicted-vs-measured report to {report_path}")
+    return EXIT_OK
+
+
+#: Verb dispatch table (the ``sweep`` alias forwards to ``report``).
+_HANDLERS = {
+    "systems": cmd_systems,
+    "run": cmd_run,
+    "tune": cmd_tune,
+    "bench": cmd_bench,
+    "profile": cmd_profile,
+    "report": cmd_report,
+    "sweep": lambda args: cmd_report(args, deprecated_alias=True),
+}
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    This is the single place framework errors become exit codes:
+    usage/registry errors exit 2, missing artifacts exit 3, every other
+    deliberate :class:`~repro.core.exceptions.ReproError` exits 1.
+    """
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose)
-    if args.command == "systems":
-        return cmd_systems()
-    if args.command == "sweep":
-        return cmd_sweep(args)
-    if args.command == "tune":
-        return cmd_tune(args)
-    if args.command == "bench":
-        return cmd_bench(args)
-    if args.command == "profile":
-        return cmd_profile(args)
-    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+    handler = _HANDLERS.get(args.command)
+    if handler is None:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    try:
+        return handler(args)
+    except (UsageError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ARTIFACT
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -51,3 +51,49 @@ class ModelNotFittedError(ReproError):
 
 class SearchError(ReproError):
     """The exhaustive / random search could not produce a result."""
+
+
+class RegistryError(ReproError, KeyError):
+    """A name was not found in one of the package registries.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers keep
+    working; new code should catch :class:`ReproError` (or a specific
+    subclass below) instead.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; registry errors are
+        # human-readable sentences, so use the plain message.
+        return self.args[0] if self.args else ""
+
+
+class UnknownApplicationError(RegistryError):
+    """An application name is not in :data:`repro.apps.registry.APPLICATIONS`."""
+
+
+class UnknownExecutorError(RegistryError):
+    """An executor name is not in :data:`repro.runtime.registry.EXECUTORS`."""
+
+
+class UnknownSystemError(RegistryError):
+    """A system name is neither a Table 4 platform nor ``"local"``."""
+
+
+class ArtifactError(ReproError):
+    """A persisted artifact (profile, model, plan) is missing or unusable.
+
+    Raised by the session facade when a requested tuner cannot be built from
+    its on-disk artifacts, e.g. ``tuner="measured"`` before ``repro profile``
+    has produced a profile.
+    """
+
+
+class UsageError(ReproError):
+    """The caller asked for something inconsistent (bad argument combination).
+
+    The CLI maps this (and every other :class:`ReproError` subclass) to an
+    exit code in exactly one place, :func:`repro.cli.main`.
+    """

@@ -1,0 +1,181 @@
+"""The resolved execution plan the session's plan/execute split exchanges.
+
+A :class:`ResolvedPlan` is everything needed to execute one application
+instance, with every tuning decision already made: the application (by
+registry name plus constructor overrides), the instance parameters, the
+tunables, the backend/engine/worker selection and the strategy that produced
+it.  Plans are
+
+* **inspectable** — plain frozen dataclass fields plus :meth:`describe`;
+* **JSON-serialisable** — :meth:`to_dict` / :meth:`from_dict` round-trip
+  through the format-versioned layout :func:`save_plan` / :func:`load_plan`
+  persist;
+* **replayable** — :meth:`repro.session.Session.run` accepts a plan from
+  any session (or a file written days earlier) as long as the application
+  name is registered and the backend fits the session's system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.autotuner.protocol import split_backend
+from repro.core.exceptions import ArtifactError
+from repro.core.params import InputParams, TunableParams
+from repro.core.pattern import WavefrontProblem
+from repro.utils.serialization import load_json, save_json
+
+#: Format marker written into every persisted plan (bumped on layout changes).
+PLAN_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResolvedPlan:
+    """One fully-resolved, executable tuning decision for one instance.
+
+    ``backend`` is an executor strategy name or a ``hybrid-<engine>`` alias;
+    ``engine`` (when set) selects the hybrid executor's CPU engine and wins
+    over the alias.  ``tuner`` records the strategy kind that produced the
+    plan (``"learned"``, ``"measured"``, ``"exhaustive"``, ``"manual"``) and
+    ``expected_s`` its runtime estimate, ``None`` when the strategy cannot
+    estimate.  ``app_kwargs`` are the constructor overrides needed to
+    rebuild the application from the registry (sorted name/value pairs, so
+    plans hash and compare structurally).
+    """
+
+    app: str
+    dim: int
+    params: InputParams
+    tunables: TunableParams
+    backend: str
+    system: str
+    engine: str | None = None
+    workers: int = 1
+    tuner: str = "manual"
+    expected_s: float | None = None
+    app_kwargs: tuple[tuple[str, object], ...] = ()
+    #: The concrete problem the plan was resolved from, when the session had
+    #: one in hand (always, for plans it resolved itself).  Excluded from
+    #: equality and from the serialised layout: a plan loaded from JSON
+    #: carries ``None`` here and is re-anchored through the application
+    #: registry at :meth:`repro.session.Session.run` time.
+    problem: WavefrontProblem | None = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def app_options(self) -> dict:
+        """The application constructor overrides as a dictionary."""
+        return dict(self.app_kwargs)
+
+    def split(self) -> tuple[str, str | None]:
+        """(executor strategy, CPU engine) with any backend alias decoded."""
+        strategy, alias_engine = split_backend(self.backend)
+        return strategy, self.engine if self.engine is not None else alias_engine
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the whole plan."""
+        strategy, engine = self.split()
+        engine_txt = f", engine={engine}" if engine else ""
+        workers_txt = f", workers={self.workers}" if self.workers > 1 else ""
+        expected_txt = (
+            f"  ~{self.expected_s * 1e3:.2f} ms expected"
+            if self.expected_s is not None
+            else ""
+        )
+        return (
+            f"{self.app}[dim={self.dim}] -> {strategy}"
+            f"({self.tunables.describe()}{engine_txt}{workers_txt}) "
+            f"on {self.system} via {self.tuner}{expected_txt}"
+        )
+
+    def with_(self, **kwargs) -> "ResolvedPlan":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (see :data:`PLAN_FORMAT_VERSION`)."""
+        return {
+            "format_version": PLAN_FORMAT_VERSION,
+            "app": self.app,
+            "dim": self.dim,
+            "params": {
+                "dim": self.params.dim,
+                "tsize": self.params.tsize,
+                "dsize": self.params.dsize,
+            },
+            "tunables": {
+                k: int(v) for k, v in self.tunables.features().items()
+            },
+            "backend": self.backend,
+            "engine": self.engine,
+            "workers": self.workers,
+            "system": self.system,
+            "tuner": self.tuner,
+            "expected_s": self.expected_s,
+            "app_kwargs": dict(self.app_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResolvedPlan":
+        """Rebuild a plan serialised by :meth:`to_dict`.
+
+        Raises :class:`repro.core.exceptions.ArtifactError` on a stale
+        ``format_version`` or a payload that is not a plan.
+        """
+        if not isinstance(data, dict) or "backend" not in data or "app" not in data:
+            raise ArtifactError("payload does not contain a resolved plan")
+        version = data.get("format_version")
+        if version != PLAN_FORMAT_VERSION:
+            raise ArtifactError(
+                f"unsupported plan format version {version!r} "
+                f"(expected {PLAN_FORMAT_VERSION})"
+            )
+        p = data["params"]
+        t = data["tunables"]
+        return cls(
+            app=str(data["app"]),
+            dim=int(data["dim"]),
+            params=InputParams(
+                dim=int(p["dim"]), tsize=float(p["tsize"]), dsize=int(p["dsize"])
+            ),
+            tunables=TunableParams(
+                cpu_tile=int(t["cpu_tile"]),
+                band=int(t["band"]),
+                gpu_count=int(t["gpu_count"]),
+                gpu_tile=int(t["gpu_tile"]),
+                halo=int(t["halo"]),
+            ),
+            backend=str(data["backend"]),
+            engine=data.get("engine"),
+            workers=int(data.get("workers", 1)),
+            system=str(data["system"]),
+            tuner=str(data.get("tuner", "manual")),
+            expected_s=(
+                float(data["expected_s"]) if data.get("expected_s") is not None else None
+            ),
+            app_kwargs=tuple(sorted(dict(data.get("app_kwargs", {})).items())),
+        )
+
+
+def save_plan(plan: ResolvedPlan, path: str | Path) -> Path:
+    """Serialise a resolved plan to ``path`` (JSON)."""
+    return save_json(plan.to_dict(), path)
+
+
+def load_plan(path: str | Path) -> ResolvedPlan:
+    """Restore a plan saved by :func:`save_plan`.
+
+    Raises :class:`repro.core.exceptions.ArtifactError` when the file does
+    not hold a plan or carries a stale ``format_version``.
+    """
+    try:
+        payload = load_json(path)
+    except FileNotFoundError as exc:
+        raise ArtifactError(f"plan file not found: {exc.filename}") from None
+    return ResolvedPlan.from_dict(payload)

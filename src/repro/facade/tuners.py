@@ -1,0 +1,114 @@
+"""Resolution of tuner strategy specifications into protocol instances.
+
+The session accepts ``tuner="learned" | "measured" | "exhaustive"`` (or any
+ready-made :class:`repro.autotuner.protocol.Tuner`); this module is the one
+place those strings are interpreted, so the CLI, the session and the
+examples cannot drift apart on what a strategy name means:
+
+* ``"learned"`` — :class:`repro.autotuner.tuner.AutoTuner`, trained on the
+  cost-model synthetic sweep at construction (or restored from a saved
+  model file without retraining);
+* ``"measured"`` — :class:`repro.autotuner.measured.MeasuredTuner`, loaded
+  from the profile/model artifacts ``repro profile`` writes;
+* ``"exhaustive"`` — :class:`repro.autotuner.protocol.ExhaustiveTuner`,
+  the per-instance sweep needing no training.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.autotuner.protocol import ExhaustiveTuner, Tuner
+from repro.core.exceptions import ArtifactError, UsageError
+from repro.core.parameter_space import ParameterSpace
+from repro.hardware.costmodel import CostConstants
+from repro.hardware.system import SystemSpec
+
+#: Strategy names :func:`make_tuner` understands.
+TUNER_KINDS = ("learned", "measured", "exhaustive")
+
+
+def make_tuner(
+    spec: str | Tuner,
+    system: SystemSpec,
+    space: ParameterSpace | None = None,
+    constants: CostConstants | None = None,
+    model_path: str | Path | None = None,
+    profile_path: str | Path | None = None,
+    plan_cache_size: int | None = None,
+) -> Tuner:
+    """Build (or pass through) the tuner behind one strategy specification.
+
+    ``model_path`` restores a previously saved model: for ``"learned"`` it
+    skips the training sweep, for ``"measured"`` it overrides the default
+    model artifact location (``profile_path`` likewise for the profile).
+    ``plan_cache_size`` bounds the measured tuner's internal plan cache.
+    Raises :class:`~repro.core.exceptions.UsageError` for an unknown
+    strategy name and :class:`~repro.core.exceptions.ArtifactError` when a
+    required artifact is missing or unusable.
+    """
+    if isinstance(spec, Tuner):
+        return spec
+    if not isinstance(spec, str):
+        raise UsageError(
+            f"tuner must be a strategy name {TUNER_KINDS} or a Tuner instance, "
+            f"got {type(spec).__name__}"
+        )
+    if spec == "learned":
+        return _make_learned(system, space, constants, model_path)
+    if spec == "measured":
+        return _make_measured(model_path, profile_path, plan_cache_size)
+    if spec == "exhaustive":
+        return ExhaustiveTuner(system, space, constants)
+    raise UsageError(
+        f"unknown tuner strategy {spec!r}; choose from {', '.join(TUNER_KINDS)}"
+    )
+
+
+def _make_learned(
+    system: SystemSpec,
+    space: ParameterSpace | None,
+    constants: CostConstants | None,
+    model_path: str | Path | None,
+):
+    """The ``"learned"`` strategy: train (or restore) an AutoTuner."""
+    from repro.autotuner.persistence import load_tuner
+    from repro.autotuner.tuner import AutoTuner
+
+    tuner = AutoTuner(system, space=space, constants=constants)
+    if model_path is not None:
+        try:
+            tuner.model = load_tuner(model_path)
+        except FileNotFoundError as exc:
+            raise ArtifactError(f"saved tuner model not found: {exc.filename}") from None
+    else:
+        tuner.train()
+    return tuner
+
+
+def _make_measured(
+    model_path: str | Path | None,
+    profile_path: str | Path | None,
+    plan_cache_size: int | None,
+):
+    """The ``"measured"`` strategy: load the profile/model artifact pair."""
+    from repro.autotuner.measured import (
+        DEFAULT_MODEL_PATH,
+        DEFAULT_PLAN_CACHE_SIZE,
+        DEFAULT_PROFILE_PATH,
+        MeasuredTuner,
+    )
+
+    try:
+        return MeasuredTuner.from_files(
+            profile_path if profile_path is not None else DEFAULT_PROFILE_PATH,
+            model_path if model_path is not None else DEFAULT_MODEL_PATH,
+            plan_cache_size=(
+                plan_cache_size if plan_cache_size is not None else DEFAULT_PLAN_CACHE_SIZE
+            ),
+        )
+    except FileNotFoundError as exc:
+        raise ArtifactError(
+            f"missing measured artifact ({exc.filename}); "
+            "run 'repro profile' first"
+        ) from None

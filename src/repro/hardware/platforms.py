@@ -14,6 +14,7 @@ the paper's tuner uses at most two; the i7-3820 hosts two Tesla boards.
 
 from __future__ import annotations
 
+from repro.core.exceptions import UnknownSystemError
 from repro.hardware.cpu import CPUSpec
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.system import InterconnectSpec, SystemSpec
@@ -70,7 +71,9 @@ def get_system(name: str) -> SystemSpec:
         return SYSTEMS_BY_NAME[name]
     except KeyError:
         known = ", ".join(sorted(SYSTEMS_BY_NAME))
-        raise KeyError(f"unknown system {name!r}; known systems: {known}") from None
+        raise UnknownSystemError(
+            f"unknown system {name!r}; known systems: {known} (or 'local')"
+        ) from None
 
 
 def resolve_system(name: str) -> SystemSpec:

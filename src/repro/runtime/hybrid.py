@@ -51,6 +51,7 @@ class HybridExecutor(Executor):
         constants=None,
         cpu_engine: str = "serial",
         workers: int | None = None,
+        pool_source=None,
     ) -> None:
         super().__init__(system, constants)
         if cpu_engine not in ("serial", "vectorized", "mp"):
@@ -59,9 +60,15 @@ class HybridExecutor(Executor):
             )
         self.cpu_engine = cpu_engine
         self.workers = workers
+        #: Optional ``(problem, tile, workers) -> MPWavefrontPool`` provider
+        #: of borrowed pools for ``cpu_engine="mp"`` (the session's
+        #: :class:`repro.runtime.lifecycle.EngineHost`); borrowed pools are
+        #: released after the run, never closed, so they stay warm.
+        self.pool_source = pool_source
         # Built once per functional run; shared by both CPU phases.
         self._sweep_engine = None
         self._mp_pool = None
+        self._pool_borrowed = False
 
     def _breakdown(self, problem: WavefrontProblem, tunables: TunableParams) -> PhaseBreakdown:
         return self.cost_model.hybrid_breakdown(problem.input_params(), tunables)
@@ -82,6 +89,7 @@ class HybridExecutor(Executor):
         # problem, so repeated executions reuse it too.
         self._sweep_engine = None
         self._mp_pool = None
+        self._pool_borrowed = False
         if self.cpu_engine == "vectorized":
             from repro.runtime.vectorized import engine_for
 
@@ -89,12 +97,15 @@ class HybridExecutor(Executor):
         elif self.cpu_engine == "mp":
             from repro.runtime.mp_parallel import MPWavefrontPool, resolve_worker_count
 
-            self._mp_pool = MPWavefrontPool(
-                problem,
-                grid,
-                tunables.cpu_tile,
-                resolve_worker_count(self.workers, self.system),
-            )
+            workers = resolve_worker_count(self.workers, self.system)
+            if self.pool_source is not None:
+                self._mp_pool = self.pool_source(problem, tunables.cpu_tile, workers)
+                self._pool_borrowed = True
+                self._mp_pool.bind(grid)
+            else:
+                self._mp_pool = MPWavefrontPool(
+                    problem, grid, tunables.cpu_tile, workers
+                )
             stats["cpu_workers"] = self._mp_pool.workers
 
         try:
@@ -116,8 +127,12 @@ class HybridExecutor(Executor):
             stats["phase3_cells"] = cells_post
         finally:
             if self._mp_pool is not None:
-                self._mp_pool.close()
+                if self._pool_borrowed:
+                    self._mp_pool.release()
+                else:
+                    self._mp_pool.close()
                 self._mp_pool = None
+                self._pool_borrowed = False
         return grid, stats
 
     def _compute_cpu_span(

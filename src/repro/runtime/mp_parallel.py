@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.core.exceptions import ExecutionError
 from repro.core.grid import WavefrontGrid
 from repro.core.params import TunableParams
 from repro.core.pattern import WavefrontProblem
@@ -109,13 +110,26 @@ class _TileTask:
 class MPWavefrontPool:
     """Persistent worker pool executing tile wavefronts on a shared grid.
 
-    On construction (with ``workers >= 2``) the grid's value array is moved
-    into shared memory — ``grid.values`` becomes the zero-copy shared view,
-    so phases running in the parent between :meth:`run_range` calls (the
-    hybrid executor's GPU band) write where the workers read.  On
-    :meth:`close` the values are copied back into the grid's original
-    private array and the segment is unlinked, so the grid outlives the pool
-    with ordinary memory.
+    The pool's lifecycle is split from the grid it operates on so one pool
+    (worker processes, shared-memory segment, per-worker engines) can serve
+    many requests of the same problem — the serving path of
+    :class:`repro.session.Session` via
+    :class:`repro.runtime.lifecycle.EngineHost`:
+
+    * **Construction** (with ``workers >= 2``) allocates the shared segment
+      sized for the problem and starts the worker processes, whose
+      initializer attaches the segment and builds the per-worker
+      :class:`TileSweeper` once.
+    * :meth:`bind` attaches one grid for a request: its values are copied
+      into the shared segment and ``grid.values`` becomes the zero-copy
+      shared view, so phases running in the parent between
+      :meth:`run_range` calls (the hybrid executor's GPU band) write where
+      the workers read.  :meth:`release` copies the values back into the
+      grid's original private array, leaving the pool warm for the next
+      request.  Constructing with a ``grid`` binds it immediately (the
+      single-shot path of :class:`MPParallelExecutor`).
+    * :meth:`close` releases any bound grid, shuts the workers down and
+      unlinks the segment.
 
     With ``workers == 1`` no processes or shared memory are involved: the
     range is swept in-process by the problem's cached whole-grid
@@ -129,25 +143,23 @@ class MPWavefrontPool:
     def __init__(
         self,
         problem: WavefrontProblem,
-        grid: WavefrontGrid,
-        tile: int,
-        workers: int,
+        grid: WavefrontGrid | None = None,
+        tile: int = 1,
+        workers: int = 1,
     ) -> None:
         self.problem = problem
-        self.grid = grid
+        self.grid: WavefrontGrid | None = None
         dim = problem.dim
         self.decomposition = TileDecomposition(dim, dim, tile)
+        self.tile = int(tile)
         self.workers = max(1, int(workers))
         self.scheduler = TileScheduler(self.decomposition, workers=self.workers)
         self._pool: ProcessPoolExecutor | None = None
         self._buffer: SharedGridBuffer | None = None
         self._orig_values: np.ndarray | None = None
         self._engine = None
-        if self.workers >= 2 and grid.values.dtype == np.float64:
-            self._buffer = SharedGridBuffer.create(dim, dtype=grid.values.dtype)
-            self._buffer.values[...] = grid.values
-            self._orig_values = grid.values
-            grid.values = self._buffer.values
+        if self.workers >= 2:
+            self._buffer = SharedGridBuffer.create(dim, dtype=np.float64)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=_mp_context(),
@@ -156,11 +168,66 @@ class MPWavefrontPool:
             )
         else:
             self._engine = engine_for(problem)
+        if grid is not None:
+            self.bind(grid)
 
     @property
     def is_multiprocess(self) -> bool:
         """True when a real worker-process pool backs :meth:`run_range`."""
         return self._pool is not None
+
+    @property
+    def is_bound(self) -> bool:
+        """True while a grid is attached via :meth:`bind`."""
+        return self.grid is not None
+
+    @property
+    def bound_multiprocess(self) -> bool:
+        """True while the *bound* grid actually lives in the shared segment.
+
+        Differs from :attr:`is_multiprocess` exactly when a grid whose
+        dtype does not match the segment fell back to the in-process sweep.
+        """
+        return self._pool is not None and self._orig_values is not None
+
+    def bind(self, grid: WavefrontGrid) -> "MPWavefrontPool":
+        """Attach one request's grid to the pool (shared view while bound).
+
+        In multiprocess mode the grid's values move into the shared segment
+        (``grid.values`` becomes the shared view) unless the dtype does not
+        match the segment, in which case the range is swept in-process — the
+        same graceful degradation the single-shot constructor applied.
+        """
+        if self.grid is not None:
+            raise ExecutionError(
+                "MPWavefrontPool is already bound to a grid; release() it first"
+            )
+        if grid.dim != self.problem.dim:
+            raise ExecutionError(
+                f"grid of dim {grid.dim} bound to a pool built for "
+                f"dim {self.problem.dim}"
+            )
+        self.grid = grid
+        if self._buffer is not None and grid.values.dtype == self._buffer.values.dtype:
+            self._buffer.values[...] = grid.values
+            self._orig_values = grid.values
+            grid.values = self._buffer.values
+        return self
+
+    def release(self) -> None:
+        """Detach the bound grid, copying shared values back to private memory.
+
+        The pool (workers, segment, per-worker engines) stays warm; call
+        :meth:`bind` again to serve the next request.  A no-op when no grid
+        is bound.
+        """
+        if self.grid is None:
+            return
+        if self._orig_values is not None:
+            self._orig_values[...] = self._buffer.values
+            self.grid.values = self._orig_values
+            self._orig_values = None
+        self.grid = None
 
     def run_range(self, d_lo: int, d_hi: int) -> tuple[int, int]:
         """Execute the tile wavefront over cell diagonals ``[d_lo, d_hi]``.
@@ -171,9 +238,12 @@ class MPWavefrontPool:
         """
         if d_hi < d_lo:
             return 0, 0
-        if self._pool is None:
-            # Single-core fallback: whole-diagonal batches, no tile penalty.
-            return 0, self._engine.sweep(self.grid, d_lo, d_hi)
+        if self.grid is None:
+            raise ExecutionError("MPWavefrontPool.run_range called with no grid bound")
+        if self._pool is None or self._orig_values is None:
+            # Single-core (or dtype-fallback) path: whole-diagonal batches,
+            # no tile penalty.
+            return 0, engine_for(self.problem).sweep(self.grid, d_lo, d_hi)
         waves = self.scheduler.waves(d_lo, d_hi)
         cells = 0
 
@@ -185,14 +255,12 @@ class MPWavefrontPool:
         return executed, cells
 
     def close(self) -> None:
-        """Shut the pool down and move the values back to private memory."""
+        """Release any bound grid, shut the workers down, unlink the segment."""
+        self.release()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
         if self._buffer is not None:
-            self._orig_values[...] = self._buffer.values
-            self.grid.values = self._orig_values
-            self._orig_values = None
             self._buffer.close()
             self._buffer.unlink()
             self._buffer = None
@@ -217,9 +285,21 @@ class MPParallelExecutor(Executor):
 
     strategy = "mp-parallel"
 
-    def __init__(self, system, constants=None, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        system,
+        constants=None,
+        workers: int | None = None,
+        pool_source=None,
+    ) -> None:
         super().__init__(system, constants)
         self.workers = workers
+        #: Optional ``(problem, tile, workers) -> MPWavefrontPool`` provider
+        #: of *borrowed* pools (e.g. the session's
+        #: :meth:`repro.runtime.lifecycle.EngineHost.pool_for`): the executor
+        #: binds/releases the request's grid but never closes a borrowed
+        #: pool, so the workers stay warm across requests.
+        self.pool_source = pool_source
 
     def _resolved_workers(self) -> int:
         return resolve_worker_count(self.workers, self.system)
@@ -237,16 +317,36 @@ class MPParallelExecutor(Executor):
     ) -> tuple[WavefrontGrid, dict]:
         grid = problem.make_grid()
         workers = self._resolved_workers()
+        if self.pool_source is not None:
+            pool = self.pool_source(problem, tunables.cpu_tile, workers)
+            pool.bind(grid)
+            try:
+                executed, cells = pool.run_range(0, 2 * problem.dim - 2)
+                stats = self._pool_stats(pool, executed, cells)
+                stats["pool"] = "borrowed"
+            finally:
+                pool.release()
+            return grid, stats
         with MPWavefrontPool(problem, grid, tunables.cpu_tile, workers) as pool:
             executed, cells = pool.run_range(0, 2 * problem.dim - 2)
-            stats = {
-                "tiles_executed": executed,
-                "cells_computed": cells,
-                "tile_waves": pool.scheduler.n_waves,
-                "workers": pool.workers,
-                "mode": "process-pool" if pool.is_multiprocess else "in-process",
-            }
+            stats = self._pool_stats(pool, executed, cells)
         return grid, stats
+
+    @staticmethod
+    def _pool_stats(pool: MPWavefrontPool, executed: int, cells: int) -> dict:
+        """The per-run statistics block shared by both pool ownership modes.
+
+        ``mode`` reports how *this run* executed (the dtype fallback sweeps
+        in-process even when a worker pool exists), so timings are never
+        attributed to workers that did not participate.
+        """
+        return {
+            "tiles_executed": executed,
+            "cells_computed": cells,
+            "tile_waves": pool.scheduler.n_waves,
+            "workers": pool.workers,
+            "mode": "process-pool" if pool.bound_multiprocess else "in-process",
+        }
 
     def _validate(self, problem: WavefrontProblem, tunables: TunableParams) -> TunableParams:
         # A pure-CPU strategy: keep the cpu_tile choice, drop GPU settings.

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import InvalidParameterError, UnknownExecutorError
 from repro.hardware.costmodel import CostConstants
 from repro.hardware.system import SystemSpec
 from repro.runtime.cpu_parallel import CPUParallelExecutor
@@ -67,7 +67,7 @@ def get_executor(
         cls = EXECUTORS[name]
     except KeyError:
         known = ", ".join(sorted(EXECUTORS))
-        raise KeyError(f"unknown executor {name!r}; known: {known}") from None
+        raise UnknownExecutorError(f"unknown executor {name!r}; known: {known}") from None
     return cls(system, constants, **kwargs)
 
 

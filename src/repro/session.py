@@ -1,0 +1,446 @@
+"""``repro.session`` — the one high-level entry point of the framework.
+
+The paper's promise is "write the kernel once, the autotuner picks the
+plan".  :class:`Session` delivers that promise as a single object instead of
+hand-wired app constructors, tuner classes and backend registries:
+
+>>> from repro import Session
+>>> with Session(system="i7-2600K", tuner="learned") as session:
+...     plan = session.plan("lcs", 256)        # inspectable, serialisable
+...     result = session.run(plan)             # executes the plan
+...     result = session.solve("lcs", 256)     # plan + run in one call
+
+Design points:
+
+* **Plan/execute separation** — :meth:`Session.plan` returns a
+  :class:`repro.facade.plan.ResolvedPlan` that can be inspected, saved as
+  JSON (:func:`repro.facade.plan.save_plan`) and replayed later by
+  :meth:`Session.run`; nothing executes until asked.
+* **One tuner protocol** — any :class:`repro.autotuner.protocol.Tuner`
+  (``"learned"``, ``"measured"``, ``"exhaustive"`` or a custom instance)
+  plugs in unchanged; the session never looks past
+  :meth:`~repro.autotuner.protocol.Tuner.resolve`.
+* **Batched serving** — :meth:`Session.solve_many` answers streams of
+  requests out of the tuned-plan cache, the problem/engine cache and the
+  persistent worker pools of :class:`repro.runtime.lifecycle.EngineHost`,
+  instead of re-tuning and re-spawning per request.
+* **Bounded state** — every cache is an LRU with a size configured by
+  ``cache_size``, so a session serving millions of requests holds a
+  constant amount of memory and worker processes.
+
+The CLI's five verbs (``run``, ``tune``, ``bench``, ``profile``,
+``report``) are thin adapters over this class; the historical
+:func:`repro.autotuner.tuner.autotune_and_run` helper survives as a
+deprecated shim delegating here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.apps.base import WavefrontApplication
+from repro.apps.registry import resolve_application
+from repro.autotuner.protocol import PlanDecision, Tuner
+from repro.core.exceptions import UsageError
+from repro.core.params import TunableParams
+from repro.core.parameter_space import ParameterSpace
+from repro.core.pattern import WavefrontProblem
+from repro.facade.plan import ResolvedPlan
+from repro.facade.tuners import make_tuner
+from repro.hardware.costmodel import CostConstants
+from repro.hardware.platforms import resolve_system
+from repro.hardware.system import SystemSpec
+from repro.runtime.executor_base import ExecutionMode
+from repro.runtime.lifecycle import EngineHost
+from repro.runtime.result import ExecutionResult
+from repro.utils.lru import LRUCache
+
+#: Default bound of the session's plan and problem caches.
+DEFAULT_CACHE_SIZE = 128
+
+
+class Session:
+    """One facade for planning, executing and serving wavefront workloads.
+
+    ``system`` is a Table 4 platform name, ``"local"`` (the introspected
+    host) or a ready :class:`~repro.hardware.system.SystemSpec`; ``tuner``
+    is a strategy name understood by :func:`repro.facade.tuners.make_tuner`
+    or any :class:`~repro.autotuner.protocol.Tuner` instance.  The tuner is
+    built lazily on first use, so sessions serving only explicit plans
+    (e.g. the benchmark driver) never pay for training.
+
+    ``mode`` is the default execution mode (``"functional"`` really
+    computes, ``"simulate"`` evaluates the cost model only);
+    ``cache_size`` bounds the tuned-plan and problem/engine caches;
+    ``workers`` — when set — overrides every plan's worker count (useful to
+    force or forbid multiprocessing).  Close the session (or use it as a
+    context manager) to shut down its worker pools deterministically.
+    """
+
+    def __init__(
+        self,
+        system: str | SystemSpec = "local",
+        tuner: str | Tuner = "learned",
+        *,
+        space: ParameterSpace | None = None,
+        constants: CostConstants | None = None,
+        mode: ExecutionMode | str = ExecutionMode.FUNCTIONAL,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        workers: int | None = None,
+        model_path=None,
+        profile_path=None,
+        max_pools: int | None = None,
+    ) -> None:
+        self.system = (
+            system if isinstance(system, SystemSpec) else resolve_system(system)
+        )
+        self.mode = ExecutionMode.coerce(mode)
+        self.space = space
+        if constants is None and isinstance(tuner, Tuner):
+            # A ready tuner may carry calibrated cost constants; executing
+            # with the same constants keeps plan estimates and simulate-mode
+            # results consistent with the strategy that produced them.
+            constants = getattr(tuner, "constants", None)
+        self.constants = constants
+        self.workers = workers
+        self.cache_size = int(cache_size)
+        self.model_path = model_path
+        self.profile_path = profile_path
+        self._tuner_spec: str | Tuner = tuner
+        self._tuner: Tuner | None = tuner if isinstance(tuner, Tuner) else None
+        host_kwargs: dict[str, int] = {}
+        if max_pools is not None:
+            host_kwargs["max_pools"] = max_pools
+        self.host = EngineHost(self.system, constants, **host_kwargs)
+        self._plans: LRUCache = LRUCache(self.cache_size)
+        self._problems: LRUCache = LRUCache(self.cache_size)
+        self._closed = False
+        #: Request counters surfaced by :meth:`cache_info`.
+        self.stats: dict[str, int] = {
+            "plans_resolved": 0,
+            "runs": 0,
+            "requests_served": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Tuner lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def tuner(self) -> Tuner:
+        """The session's tuning strategy, built (and trained) on first use."""
+        if self._tuner is None:
+            self._tuner = make_tuner(
+                self._tuner_spec,
+                self.system,
+                space=self.space,
+                constants=self.constants,
+                model_path=self.model_path,
+                profile_path=self.profile_path,
+                plan_cache_size=self.cache_size,
+            )
+        return self._tuner
+
+    @property
+    def tuner_ready(self) -> bool:
+        """True once the tuner has been built (no side effects)."""
+        return self._tuner is not None
+
+    def adopt_tuner(self, tuner: Tuner) -> "Session":
+        """Swap in a ready tuner (e.g. freshly trained on a new profile).
+
+        Cached plans from the previous strategy are dropped; problems,
+        engines and worker pools are kept (they are tuner-independent).
+        """
+        self._tuner = tuner
+        self._plans.clear()
+        return self
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        app: str | WavefrontApplication | WavefrontProblem,
+        dim: int | None = None,
+        *,
+        backend: str | None = None,
+        engine: str | None = None,
+        workers: int | None = None,
+        tunables: TunableParams | None = None,
+        **app_kwargs,
+    ) -> ResolvedPlan:
+        """Resolve one application instance to an executable plan.
+
+        ``app`` is a registered application name (``app_kwargs`` forward to
+        its constructor), an application instance, or a bare
+        :class:`~repro.core.pattern.WavefrontProblem`.  Without overrides
+        the session's tuner decides backend, workers and tunables; passing
+        ``backend`` (and optionally ``tunables``/``engine``/``workers``)
+        pins an explicit configuration and bypasses the tuner entirely —
+        the plan's ``tuner`` field then reads ``"manual"``.
+
+        Registry-name requests are cached per (instance, overrides) query,
+        so repeated requests cost one LRU hit.  Caller-supplied application
+        instances and problems are planned against their *own* objects
+        (identity-keyed, never conflated with the registry defaults of the
+        same name) and the resulting plan carries the concrete problem, so
+        :meth:`run` executes exactly what was handed in.
+        """
+        self._check_open()
+        if isinstance(app, WavefrontProblem):
+            if app_kwargs:
+                raise UsageError(
+                    "constructor arguments cannot be applied to an "
+                    "already-built problem"
+                )
+            return self._resolve(app, app.name, (), backend, engine, workers, tunables)
+        if isinstance(app, WavefrontApplication):
+            if app_kwargs:
+                raise UsageError(
+                    f"cannot apply constructor arguments {sorted(app_kwargs)} to "
+                    f"an already-built application instance {app.name!r}"
+                )
+            dim = dim if dim is not None else app.default_dim
+            problem = self._instance_problem(app, dim)
+            return self._resolve(problem, app.name, (), backend, engine, workers, tunables)
+        app_obj = resolve_application(app, **self._ctor_kwargs(dim, app_kwargs))
+        dim = dim if dim is not None else app_obj.default_dim
+        kwargs_key = tuple(sorted(app_kwargs.items()))
+        query = (app, dim, kwargs_key, backend, engine, workers, tunables)
+        cached = self._plans.get(query)
+        if cached is not None:
+            return cached
+        problem = self._problems.get_or_create(
+            (app, dim, kwargs_key), lambda: app_obj.problem(dim)
+        )
+        plan = self._resolve(problem, app, kwargs_key, backend, engine, workers, tunables)
+        return self._plans.put(query, plan)
+
+    @staticmethod
+    def _ctor_kwargs(dim, app_kwargs: dict) -> dict:
+        """Constructor arguments for registry resolution."""
+        kwargs = dict(app_kwargs)
+        if dim is not None:
+            kwargs["dim"] = dim
+        return kwargs
+
+    def _instance_problem(self, app: WavefrontApplication, dim: int) -> WavefrontProblem:
+        """The cached problem of one caller-supplied application instance.
+
+        Keyed by the instance's identity (the cache entry keeps the
+        instance alive, so a recycled ``id()`` can never alias) — two
+        differently-configured instances sharing a registry name get two
+        problems, and neither touches the registry-default cache slots.
+        """
+        key = ("__instance__", id(app), dim)
+        entry = self._problems.get(key)
+        if entry is None or entry[0] is not app:
+            entry = self._problems.put(key, (app, app.problem(dim)))
+        return entry[1]
+
+    def _resolve(
+        self, problem, name, kwargs_key, backend, engine, workers, tunables
+    ) -> ResolvedPlan:
+        """Combine the tuner's decision with any caller overrides."""
+        params = problem.input_params()
+        if backend is not None or tunables is not None:
+            decision = PlanDecision(
+                backend=backend if backend is not None else "hybrid",
+                tunables=tunables if tunables is not None else TunableParams(),
+                workers=workers if workers is not None else 1,
+                engine=engine,
+            )
+            source = "manual"
+        else:
+            decision = self.tuner.resolve(name, params)
+            self.stats["plans_resolved"] += 1
+            source = self.tuner.kind
+            if engine is not None:
+                decision = PlanDecision(
+                    backend=decision.backend,
+                    tunables=decision.tunables,
+                    workers=decision.workers,
+                    engine=engine,
+                    expected_s=decision.expected_s,
+                )
+        resolved_workers = workers if workers is not None else decision.workers
+        if self.workers is not None:
+            resolved_workers = self.workers
+        return ResolvedPlan(
+            app=name,
+            dim=problem.dim,
+            params=params,
+            tunables=decision.tunables.clipped(problem.dim),
+            backend=decision.backend,
+            engine=decision.engine,
+            workers=max(1, int(resolved_workers)),
+            system=self.system.name,
+            tuner=source,
+            expected_s=decision.expected_s,
+            app_kwargs=kwargs_key,
+            problem=problem,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, plan: ResolvedPlan, mode: ExecutionMode | str | None = None
+    ) -> ExecutionResult:
+        """Execute a resolved plan (this session's or a replayed one).
+
+        Plans this session resolved carry their concrete problem and
+        execute it directly; replayed plans (loaded from JSON) rebuild the
+        problem through the application registry, cached per (app, dim,
+        overrides).  ``mode`` defaults to the session's mode.
+        """
+        self._check_open()
+        mode = ExecutionMode.coerce(mode) if mode is not None else self.mode
+        problem = plan.problem
+        if problem is None:
+            problem = self._problems.get_or_create(
+                (plan.app, plan.dim, plan.app_kwargs),
+                lambda: resolve_application(
+                    plan.app, dim=plan.dim, **plan.app_options
+                ).problem(plan.dim),
+            )
+        strategy, engine = plan.split()
+        executor = self.host.executor_for(strategy, engine, plan.workers)
+        self.stats["runs"] += 1
+        return executor.execute(problem, plan.tunables, mode=mode)
+
+    def solve(
+        self,
+        app: str | WavefrontApplication | WavefrontProblem,
+        dim: int | None = None,
+        mode: ExecutionMode | str | None = None,
+        **plan_kwargs,
+    ) -> ExecutionResult:
+        """Plan and execute in one call (the "just solve it" entry point)."""
+        return self.run(self.plan(app, dim, **plan_kwargs), mode=mode)
+
+    def solve_many(
+        self,
+        requests: Iterable[Any],
+        mode: ExecutionMode | str | None = None,
+    ) -> list[ExecutionResult]:
+        """Serve a batch of requests, reusing plans, engines and pools.
+
+        Each request is a registered application name, an
+        ``(app, dim)`` pair, a mapping of :meth:`plan` keyword arguments,
+        or a ready :class:`~repro.facade.plan.ResolvedPlan`.  Repeated
+        requests hit the tuned-plan cache (one tuner resolution for the
+        whole stream) and the multicore backends keep their worker pools
+        warm across the batch — the serving behaviour the per-call helpers
+        could not offer.
+        """
+        results = []
+        for request in requests:
+            if isinstance(request, ResolvedPlan):
+                results.append(self.run(request, mode=mode))
+            elif isinstance(request, Mapping):
+                results.append(self.solve(mode=mode, **request))
+            elif isinstance(request, (tuple, list)):
+                app, dim = request
+                results.append(self.solve(app, dim, mode=mode))
+            else:
+                results.append(self.solve(request, mode=mode))
+            self.stats["requests_served"] += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Profiling / sweeping (the CLI's remaining verbs)
+    # ------------------------------------------------------------------
+    def profile(self, config=None, progress: Callable[[str], None] | None = None):
+        """Measure the live CPU backends on this session's system.
+
+        Thin wrapper over :func:`repro.autotuner.measured.profile_host`
+        returning the :class:`~repro.autotuner.measured.MeasuredProfile`;
+        pair with :meth:`train_measured` to turn the profile into a
+        deployable tuner.
+        """
+        from repro.autotuner.measured import profile_host
+
+        return profile_host(self.system, config, progress=progress)
+
+    def train_measured(self, profile, adopt: bool = False):
+        """Train a measured tuner on a profile; optionally adopt it.
+
+        With ``adopt=True`` the session starts answering :meth:`plan`
+        queries from the new tuner immediately (dropping cached plans).
+        """
+        from repro.autotuner.measured import MeasuredTuner
+
+        tuner = MeasuredTuner.train(profile)
+        if adopt:
+            self.adopt_tuner(tuner)
+        return tuner
+
+    def sweep(self, space: ParameterSpace | None = None, instances=None):
+        """Exhaustive cost-model sweep of the synthetic application.
+
+        Returns :class:`repro.autotuner.exhaustive.SearchResults` for the
+        report/analysis helpers; ``space`` defaults to the session's space
+        (or the reduced space).
+        """
+        from repro.autotuner.exhaustive import ExhaustiveSearch
+
+        search = ExhaustiveSearch(
+            self.system, space if space is not None else self.space, self.constants
+        )
+        return search.sweep(instances)
+
+    def save_model(self, path) -> None:
+        """Persist the tuner's learned model (for later ``model_path=`` use)."""
+        from repro.autotuner.persistence import save_tuner
+
+        model = getattr(self.tuner, "model", None)
+        if model is None:
+            raise UsageError(
+                f"the {self.tuner.kind!r} tuner has no trainable model to save"
+            )
+        save_tuner(model, path)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable summary of system, tuner and cache state."""
+        tuner_txt = (
+            self.tuner.describe() if self.tuner_ready else f"{self._tuner_spec!r} (lazy)"
+        )
+        return (
+            f"Session(system={self.system.name}, tuner={tuner_txt}, "
+            f"mode={self.mode.value}, cache_size={self.cache_size})"
+        )
+
+    def cache_info(self) -> dict:
+        """Counters of every bounded cache plus the request statistics."""
+        return {
+            "plans": self._plans.info(),
+            "problems": self._problems.info(),
+            "requests": dict(self.stats),
+            **self.host.cache_info(),
+        }
+
+    def close(self) -> None:
+        """Release worker pools, engines and caches; the session stays closed."""
+        if self._closed:
+            return
+        self.host.close()
+        self._plans.clear()
+        self._problems.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise UsageError("Session used after close()")
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

@@ -1,0 +1,125 @@
+"""A small least-recently-used cache with eviction hooks and hit statistics.
+
+Long-lived serving sessions (:class:`repro.session.Session`) cache tuned
+plans, constructed problems and worker pools across requests; left unbounded
+those caches grow with every distinct request ever seen.  This module is the
+one bounded-cache implementation they all share: an ordered-dict LRU with a
+configurable ``maxsize``, an optional ``on_evict`` callback (used to close
+worker pools when their cache slot is reclaimed) and hit/miss counters that
+the session surfaces through :meth:`repro.session.Session.cache_info`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator
+
+from repro.core.exceptions import InvalidParameterError
+
+#: Sentinel distinguishing "no default given" from ``default=None``.
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry on overflow.
+
+    ``maxsize`` must be at least 1; ``on_evict(key, value)`` — when given —
+    is called for every entry leaving the cache, whether evicted by capacity,
+    replaced by :meth:`put`, or flushed by :meth:`clear`.  Only :meth:`get`
+    and :meth:`put` refresh recency; membership tests and :meth:`values`
+    observe without touching the LRU order.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        on_evict: Callable[[Hashable, Any], None] | None = None,
+    ) -> None:
+        if maxsize < 1:
+            raise InvalidParameterError(f"LRU maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._on_evict = on_evict
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Insert ``key -> value``, evicting the oldest entry on overflow.
+
+        Returns ``value`` so call sites can cache and use in one expression.
+        """
+        if key in self._data:
+            old = self._data.pop(key)
+            if old is not value:
+                self._evicted(key, old)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            old_key, old_value = self._data.popitem(last=False)
+            self.evictions += 1
+            self._evicted(old_key, old_value)
+        return value
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, building (and caching) it on a miss."""
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = self.put(key, factory())
+        return value
+
+    def pop(self, key: Hashable, default: Any = _MISSING) -> Any:
+        """Remove and return an entry *without* firing the eviction hook."""
+        if key in self._data:
+            return self._data.pop(key)
+        if default is _MISSING:
+            raise KeyError(key)
+        return default
+
+    def clear(self) -> None:
+        """Drop every entry, firing the eviction hook for each.
+
+        Counters survive a clear so post-shutdown introspection (e.g. a
+        closed session's ``cache_info``) still reports lifetime statistics.
+        """
+        while self._data:
+            key, value = self._data.popitem(last=False)
+            self._evicted(key, value)
+
+    def values(self) -> list[Any]:
+        """Current values, oldest first (does not refresh recency)."""
+        return list(self._data.values())
+
+    def info(self) -> dict[str, int]:
+        """Counters in the style of :func:`functools.lru_cache`'s cache_info."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------------
+    def _evicted(self, key: Hashable, value: Any) -> None:
+        if self._on_evict is not None:
+            self._on_evict(key, value)

@@ -1,8 +1,15 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Every verb is a thin adapter over :class:`repro.session.Session`; these
+tests smoke each verb end to end and pin the central error -> exit-code
+mapping of :func:`repro.cli.main` (usage errors 2, missing artifacts 3).
+"""
+
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_ARTIFACT, EXIT_USAGE, build_parser, main
 
 
 class TestParser:
@@ -13,6 +20,14 @@ class TestParser:
     def test_tune_defaults(self):
         args = build_parser().parse_args(["tune"])
         assert args.system == "i7-2600K" and args.app == "synthetic" and args.dim == 1900
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--app", "lcs"])
+        assert args.command == "run" and args.tuner == "learned" and args.mode == "functional"
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.kind == "heatmap" and args.system == "i7-2600K"
 
     def test_unknown_system_rejected(self):
         with pytest.raises(SystemExit):
@@ -30,10 +45,16 @@ class TestCommands:
         for name in ("i3-540", "i7-2600K", "i7-3820"):
             assert name in out
 
-    def test_sweep_tiny_prints_heatmap(self, capsys):
-        assert main(["sweep", "--system", "i3-540", "--space", "tiny"]) == 0
+    def test_report_tiny_prints_heatmap(self, capsys):
+        assert main(["report", "--system", "i3-540", "--space", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "Figure 5 heatmap" in out and "band" in out
+
+    def test_sweep_alias_still_works_with_deprecation_note(self, capsys):
+        assert main(["sweep", "--system", "i3-540", "--space", "tiny"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 5 heatmap" in captured.out
+        assert "deprecated" in captured.err
 
     def test_tune_tiny_prints_configuration(self, capsys, tmp_path):
         model_path = tmp_path / "model.json"
@@ -79,6 +100,84 @@ class TestCommands:
         assert "loaded trained models" in capsys.readouterr().out
 
 
+class TestRun:
+    def test_run_executes_and_verifies(self, capsys):
+        code = main(
+            [
+                "run",
+                "--system",
+                "i3-540",
+                "--space",
+                "tiny",
+                "--app",
+                "lcs",
+                "--dim",
+                "32",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "executed:" in out
+        assert "serial verification: OK" in out
+
+    def test_run_plan_out_then_replay(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "run",
+                "--system",
+                "i3-540",
+                "--space",
+                "tiny",
+                "--app",
+                "lcs",
+                "--dim",
+                "32",
+                "--plan-out",
+                str(plan_path),
+            ]
+        )
+        assert code == 0
+        assert plan_path.exists()
+        first = capsys.readouterr().out
+        assert "wrote plan to" in first
+
+        code = main(
+            ["run", "--system", "i3-540", "--replay", str(plan_path), "--verify"]
+        )
+        assert code == 0
+        replayed = capsys.readouterr().out
+        assert "replaying plan" in replayed
+        assert "serial verification: OK" in replayed
+
+    def test_run_pinned_backend_bypasses_tuner(self, capsys):
+        code = main(
+            [
+                "run",
+                "--system",
+                "i3-540",
+                "--app",
+                "lcs",
+                "--dim",
+                "32",
+                "--backend",
+                "vectorized",
+            ]
+        )
+        assert code == 0
+        assert "via manual" in capsys.readouterr().out
+
+    def test_run_without_app_is_usage_error(self, capsys):
+        assert main(["run", "--system", "i3-540"]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_replay_missing_plan_is_artifact_error(self, tmp_path, capsys):
+        code = main(["run", "--replay", str(tmp_path / "missing_plan.json")])
+        assert code == EXIT_ARTIFACT
+        assert "error:" in capsys.readouterr().err
+
+
 class TestVersion:
     def test_version_flag_reports_package_version(self, capsys):
         from repro.version import __version__
@@ -94,9 +193,7 @@ class TestBench:
         args = build_parser().parse_args(["bench"])
         assert args.dim == 256 and args.apps == "all" and args.executors == "all"
 
-    def test_bench_writes_json_and_verifies(self, capsys, tmp_path, monkeypatch):
-        import json
-
+    def test_bench_writes_json_and_verifies(self, capsys, tmp_path):
         out_path = tmp_path / "bench.json"
         code = main(
             [
@@ -125,11 +222,14 @@ class TestBench:
             assert by_pair[(app_name, "vectorized")]["matches_serial"] is True
             assert by_pair[(app_name, "vectorized")]["speedup_vs_serial"] > 0
 
-    def test_bench_rejects_unknown_names(self):
-        with pytest.raises(SystemExit):
-            main(["bench", "--apps", "raytracer", "--dim", "16"])
-        with pytest.raises(SystemExit):
-            main(["bench", "--executors", "quantum", "--dim", "16"])
+    def test_bench_rejects_unknown_names(self, capsys):
+        assert main(["bench", "--apps", "raytracer", "--dim", "16"]) == EXIT_USAGE
+        assert "unknown applications" in capsys.readouterr().err
+        assert main(["bench", "--executors", "quantum", "--dim", "16"]) == EXIT_USAGE
+        assert "unknown executors" in capsys.readouterr().err
+
+    def test_bench_rejects_bad_repeats(self, capsys):
+        assert main(["bench", "--repeats", "0", "--dim", "16"]) == EXIT_USAGE
 
 
 class TestProfile:
@@ -187,20 +287,38 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "tuned plan" in out and "measured serial reference" in out
 
-    def test_tune_local_without_artifacts_exits_cleanly(self, tmp_path):
-        with pytest.raises(SystemExit, match="repro-tune profile"):
-            main(
-                [
-                    "tune",
-                    "--system",
-                    "local",
-                    "--app",
-                    "lcs",
-                    "--dim",
-                    "48",
-                    "--profile-file",
-                    str(tmp_path / "missing.json"),
-                    "--load-model",
-                    str(tmp_path / "missing_model.json"),
-                ]
-            )
+        # The measured report re-renders from the same artifacts.
+        code = main(
+            [
+                "report",
+                "--kind",
+                "measured",
+                "--profile-file",
+                str(profile_path),
+                "--model-file",
+                str(model_path),
+                "--out",
+                str(tmp_path / "report2.txt"),
+            ]
+        )
+        assert code == 0
+        assert "Measured profile" in capsys.readouterr().out
+
+    def test_tune_local_without_artifacts_maps_to_artifact_exit(self, tmp_path, capsys):
+        code = main(
+            [
+                "tune",
+                "--system",
+                "local",
+                "--app",
+                "lcs",
+                "--dim",
+                "48",
+                "--profile-file",
+                str(tmp_path / "missing.json"),
+                "--load-model",
+                str(tmp_path / "missing_model.json"),
+            ]
+        )
+        assert code == EXIT_ARTIFACT
+        assert "repro profile" in capsys.readouterr().err

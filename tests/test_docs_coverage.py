@@ -1,10 +1,12 @@
-"""The docs coverage check, wired into the test suite.
+"""The docs-coverage and API-surface checks, wired into the test suite.
 
-CI also runs ``scripts/check_docs.py`` directly; this test keeps the
-guarantees local: every public class in ``repro.apps`` and ``repro.runtime``
-appears in ``docs/architecture.md``, every public class of
-``repro.autotuner.measured`` appears in ``docs/measured-tuning.md``, and
-every public module/class/function under ``src/repro`` has a docstring.
+CI also runs ``scripts/check_docs.py`` and ``scripts/check_api.py``
+directly; these tests keep the guarantees local: every public class in
+``repro.apps`` and ``repro.runtime`` appears in ``docs/architecture.md``,
+every public class of ``repro.autotuner.measured`` appears in
+``docs/measured-tuning.md``, every public module/class/function under
+``src/repro`` has a docstring — and the exported public API surface
+matches the reviewed snapshot in ``scripts/api_surface.json``.
 """
 
 import sys
@@ -13,10 +15,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def test_architecture_doc_covers_all_public_classes():
+def _load_script(name: str):
     sys.path.insert(0, str(REPO_ROOT / "scripts"))
     try:
-        import check_docs
+        return __import__(name)
     finally:
         sys.path.pop(0)
-    assert check_docs.main() == 0
+
+
+def test_architecture_doc_covers_all_public_classes():
+    assert _load_script("check_docs").main() == 0
+
+
+def test_public_api_surface_matches_reviewed_snapshot():
+    assert _load_script("check_api").main([]) == 0

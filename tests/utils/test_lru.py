@@ -1,0 +1,62 @@
+"""Tests for the shared bounded LRU cache."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.utils.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes 'a'
+        cache.put("c", 3)  # evicts 'b', the least recently used
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_on_evict_fires_for_capacity_replacement_and_clear(self):
+        closed = []
+        cache = LRUCache(2, on_evict=lambda k, v: closed.append((k, v)))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # replacement evicts the old value
+        cache.put("c", 3)  # capacity evicts 'b'
+        cache.clear()  # flushes 'a' and 'c'
+        assert ("a", 1) in closed and ("b", 2) in closed
+        assert ("a", 10) in closed and ("c", 3) in closed
+
+    def test_counters_and_info(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        info = cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_get_or_create_builds_once(self):
+        cache = LRUCache(4)
+        builds = []
+        for _ in range(3):
+            cache.get_or_create("k", lambda: builds.append(1) or "v")
+        assert len(builds) == 1 and cache.get("k") == "v"
+
+    def test_counters_survive_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.info()["hits"] == 1 and len(cache) == 0
+
+    def test_pop_skips_eviction_hook(self):
+        closed = []
+        cache = LRUCache(2, on_evict=lambda k, v: closed.append(k))
+        cache.put("a", 1)
+        assert cache.pop("a") == 1 and closed == []
+        with pytest.raises(KeyError):
+            cache.pop("a")
+        assert cache.pop("a", default=None) is None
+
+    def test_zero_maxsize_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LRUCache(0)
