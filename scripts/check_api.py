@@ -4,11 +4,14 @@
 The exported surface is everything a downstream user can import and call
 without reading the source:
 
-* ``repro.__all__`` (the package exports);
+* ``repro.__all__`` (the package exports) and ``repro.server.__all__``
+  (the serving subsystem exports);
 * the public method signatures of the facade types —
   :class:`repro.session.Session`, :class:`repro.facade.plan.ResolvedPlan`,
   :class:`repro.autotuner.protocol.Tuner` and
-  :class:`repro.autotuner.protocol.PlanDecision`;
+  :class:`repro.autotuner.protocol.PlanDecision` — and of the serving
+  types :class:`repro.server.ReproServer` / :class:`repro.server.ServerConfig`
+  / :class:`repro.server.LoadgenConfig`;
 * the CLI verb names.
 
 ``python scripts/check_api.py`` compares the live surface against the
@@ -60,9 +63,11 @@ def _dataclass_fields(cls) -> dict[str, str]:
 def current_surface() -> dict:
     """Collect the live public surface of the package."""
     import repro
+    import repro.server
     from repro.autotuner.protocol import PlanDecision, Tuner
     from repro.cli import build_parser
     from repro.facade.plan import ResolvedPlan
+    from repro.server import LoadgenConfig, ReproServer, ServerConfig
     from repro.session import Session
 
     verbs = sorted(
@@ -70,12 +75,17 @@ def current_surface() -> dict:
     )
     return {
         "repro.__all__": sorted(repro.__all__),
+        "repro.server.__all__": sorted(repro.server.__all__),
         "Session.__init__": str(inspect.signature(Session.__init__)),
         "Session": _signatures(Session),
         "ResolvedPlan.fields": _dataclass_fields(ResolvedPlan),
         "ResolvedPlan": _signatures(ResolvedPlan),
         "PlanDecision.fields": _dataclass_fields(PlanDecision),
         "Tuner": _signatures(Tuner),
+        "ReproServer.__init__": str(inspect.signature(ReproServer.__init__)),
+        "ReproServer": _signatures(ReproServer),
+        "ServerConfig.fields": _dataclass_fields(ServerConfig),
+        "LoadgenConfig.fields": _dataclass_fields(LoadgenConfig),
         "cli.verbs": verbs,
     }
 

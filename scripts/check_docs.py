@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs coverage checks for the repository.
 
-Three guarantees, all enforced in CI and mirrored by
+Four guarantees, all enforced in CI and mirrored by
 ``tests/test_docs_coverage.py``:
 
 1. every public class in ``repro.apps`` and ``repro.runtime`` is mentioned
@@ -10,7 +10,10 @@ Three guarantees, all enforced in CI and mirrored by
 2. every public class of the measured-autotuning module
    (``repro.autotuner.measured``) is mentioned in ``docs/measured-tuning.md``
    — the profile→train→tune workflow page stays complete;
-3. every public module, class, function and method under ``src/repro`` has
+3. every public class of the serving subsystem (``repro.server``) is
+   mentioned in ``docs/serving.md`` — the serving architecture page stays
+   complete;
+4. every public module, class, function and method under ``src/repro`` has
    a docstring (nested defs and ``_private`` names are exempt).
 
 Run from the repository root (CI does) or anywhere inside it:
@@ -30,10 +33,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 ARCHITECTURE_DOC = REPO_ROOT / "docs" / "architecture.md"
 MEASURED_DOC = REPO_ROOT / "docs" / "measured-tuning.md"
+SERVING_DOC = REPO_ROOT / "docs" / "serving.md"
 #: Packages whose public classes must appear in docs/architecture.md.
 PACKAGES = ("apps", "runtime")
 #: Module whose public classes must appear in docs/measured-tuning.md.
 MEASURED_MODULE = SRC_ROOT / "autotuner" / "measured.py"
+#: Package whose public classes must appear in docs/serving.md.
+SERVER_PACKAGE = "server"
 
 
 def public_classes(package: str) -> dict[str, str]:
@@ -110,6 +116,9 @@ def main() -> int:
     measured = module_classes(MEASURED_MODULE)
     total_classes += len(measured)
     problems += check_classes_mentioned(MEASURED_DOC, measured)
+    server = public_classes(SERVER_PACKAGE)
+    total_classes += len(server)
+    problems += check_classes_mentioned(SERVING_DOC, server)
     gaps = docstring_gaps(SRC_ROOT)
     problems += gaps
 

@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Smoke-scale serving gate for CI: metrics shape + overhead regression.
+
+Validates a fresh ``repro loadgen`` artifact and compares it against a
+committed baseline.  Two layers of checks:
+
+1. **Well-formedness / correctness** — the artifact and its embedded server
+   metrics carry every documented field (see ``docs/serving.md``), at least
+   ``--min-completed`` requests completed, none failed, and every answer
+   matched the in-process reference bit-exactly (``mismatches == 0``).
+
+2. **Performance** — absolute serving latency and throughput are useless
+   across CI machines, so both artifacts are reduced to machine-neutral
+   ratios before comparison: per-request *overhead* is the served p50/p95
+   latency divided by the artifact's own mean direct in-process solve time
+   (measured by the load generator on the same machine in the same run).
+   The gate fails only when a fresh ratio degrades by more than
+   ``--threshold`` over the baseline's — generous by design, like the 3x
+   ``check_perf`` gate: it exists to catch gross serving regressions
+   (lost batching, lock convoys, leaked queueing), not noise.
+
+Usage (CI)::
+
+    python -m repro loadgen --url http://127.0.0.1:8077 \
+        --system i3-540 --space tiny --out /tmp/serve_loadgen.json
+    python scripts/check_serve.py --fresh /tmp/serve_loadgen.json \
+        --baseline benchmarks/results/serve_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fields every loadgen artifact must carry under ``results``.
+REQUIRED_RESULT_KEYS = (
+    "completed",
+    "rejected",
+    "failed",
+    "mismatches",
+    "wall_s",
+    "throughput_rps",
+    "latency_ms",
+)
+
+#: Fields every server-metrics snapshot must carry (the documented schema).
+REQUIRED_METRICS_KEYS = (
+    "uptime_s",
+    "requests",
+    "queue",
+    "batches",
+    "latency_ms",
+    "throughput_rps",
+)
+
+#: Percentile fields of every latency summary.
+REQUIRED_LATENCY_KEYS = ("p50", "p90", "p95", "p99", "mean", "max", "samples")
+
+
+def load_artifact(path: Path) -> dict:
+    """Read one loadgen artifact."""
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def well_formed(artifact: dict, min_completed: int) -> list[str]:
+    """Schema and correctness problems of one artifact (empty = OK)."""
+    problems: list[str] = []
+    results = artifact.get("results")
+    if not isinstance(results, dict):
+        return ["artifact has no 'results' section"]
+    for key in REQUIRED_RESULT_KEYS:
+        if key not in results:
+            problems.append(f"results.{key} missing")
+    latency = results.get("latency_ms", {})
+    for key in REQUIRED_LATENCY_KEYS:
+        if key not in latency:
+            problems.append(f"results.latency_ms.{key} missing")
+    if latency and not problems:
+        if latency["p50"] > latency["p95"] or latency["p95"] > latency["max"]:
+            problems.append(
+                f"latency percentiles are not monotonic: p50={latency['p50']:.2f} "
+                f"p95={latency['p95']:.2f} max={latency['max']:.2f}"
+            )
+    metrics = artifact.get("server_metrics")
+    if not isinstance(metrics, dict) or "error" in metrics:
+        problems.append(f"server_metrics missing or unreadable: {metrics!r}")
+    else:
+        for key in REQUIRED_METRICS_KEYS:
+            if key not in metrics:
+                problems.append(f"server_metrics.{key} missing")
+        batches = metrics.get("batches", {})
+        if isinstance(batches, dict) and "histogram" not in batches:
+            problems.append("server_metrics.batches.histogram missing")
+    completed = results.get("completed", 0)
+    if completed < min_completed:
+        problems.append(
+            f"only {completed} requests completed (need >= {min_completed})"
+        )
+    if results.get("failed"):
+        problems.append(f"{results['failed']} requests failed")
+    if results.get("mismatches"):
+        problems.append(
+            f"{results['mismatches']} answers did not match in-process solving"
+        )
+    return problems
+
+
+def overheads(artifact: dict) -> dict[str, float] | None:
+    """Machine-neutral ratios of one artifact (None without a reference).
+
+    ``p50``/``p95`` are served-latency-to-direct-solve overhead factors;
+    ``service`` is mean direct solve time divided by achieved inter-completion
+    time — a utilisation-like throughput ratio (higher is better).
+    """
+    reference = artifact.get("reference") or {}
+    mean_solve_ms = reference.get("mean_solve_ms") or 0.0
+    if mean_solve_ms <= 0:
+        return None
+    # Tolerate truncated artifacts: a missing field means "no ratios", and
+    # the well_formed() report (not a KeyError traceback) names the gap.
+    results = artifact.get("results") or {}
+    latency = results.get("latency_ms") or {}
+    if "p50" not in latency or "p95" not in latency or "throughput_rps" not in results:
+        return None
+    return {
+        "p50": latency["p50"] / mean_solve_ms,
+        "p95": latency["p95"] / mean_solve_ms,
+        "service": results["throughput_rps"] * mean_solve_ms / 1e3,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Gate a fresh loadgen artifact; return the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True, help="loadgen JSON just measured")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/results/serve_baseline.json"),
+        help="committed baseline loadgen JSON",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="fail when a fresh overhead ratio exceeds baseline by this factor",
+    )
+    parser.add_argument(
+        "--min-completed",
+        type=int,
+        default=50,
+        help="minimum completed requests the fresh run must report",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_artifact(args.fresh)
+    baseline = load_artifact(args.baseline)
+
+    failures = [f"fresh: {p}" for p in well_formed(fresh, args.min_completed)]
+    # The committed baseline only needs a valid shape, not today's volume.
+    failures += [f"baseline: {p}" for p in well_formed(baseline, 1)]
+
+    fresh_ratios = overheads(fresh)
+    base_ratios = overheads(baseline)
+    if fresh_ratios is None:
+        failures.append(
+            "fresh artifact has no reference timings (loadgen ran --no-verify?) "
+            "or lacks latency/throughput fields"
+        )
+    if base_ratios is None:
+        failures.append(
+            "baseline artifact has no reference timings or lacks "
+            "latency/throughput fields"
+        )
+    if fresh_ratios and base_ratios:
+        for key, worse_is_higher in (("p50", True), ("p95", True), ("service", False)):
+            fresh_value, base_value = fresh_ratios[key], base_ratios[key]
+            if worse_is_higher:
+                ratio = fresh_value / base_value if base_value > 0 else float("inf")
+            else:
+                ratio = base_value / fresh_value if fresh_value > 0 else float("inf")
+            status = "FAIL" if ratio > args.threshold else "ok"
+            print(
+                f"{key:<8} baseline {base_value:8.3f}  fresh {fresh_value:8.3f}  "
+                f"({ratio:5.2f}x baseline)  {status}"
+            )
+            if ratio > args.threshold:
+                failures.append(
+                    f"{key} overhead {ratio:.2f}x worse than baseline "
+                    f"(threshold {args.threshold:.1f}x)"
+                )
+
+    if failures:
+        print("\nserve check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    completed = fresh["results"]["completed"]
+    print(
+        f"\nserve check OK: {completed} verified requests, metrics well-formed, "
+        f"overheads within {args.threshold:.1f}x of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,10 @@ The package provides:
 * :mod:`repro.session` / :mod:`repro.facade` — the high-level
   :class:`~repro.session.Session` facade (plan/execute separation, batched
   serving) that the CLI and new code build on.
+* :mod:`repro.server` — the concurrent serving subsystem over the session:
+  bounded request queue with backpressure, coalescing batch scheduler,
+  JSON metrics, stdlib HTTP endpoint and load generator (the ``repro
+  serve`` / ``repro loadgen`` CLI verbs).
 
 The supported entry point is the session::
 

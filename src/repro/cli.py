@@ -25,6 +25,19 @@ workflow verbs:
   heatmaps of an exhaustive sweep (``--kind heatmap``) or the Figure 7
   predicted-vs-measured summary of the local profile (``--kind measured``).
 
+Two serving verbs build on the ``repro.server`` subsystem:
+
+* ``repro-tune serve --port 8077 --system local`` — warm the session's
+  tuner and serve it over a stdlib HTTP/JSON endpoint with a bounded
+  request queue (backpressure), a coalescing batch scheduler and a
+  ``GET /metrics`` page; shuts down gracefully on SIGINT/SIGTERM or
+  ``POST /shutdown``, draining the queue and releasing worker pools;
+* ``repro-tune loadgen --url http://127.0.0.1:8077`` — drive a serving
+  endpoint (or an in-process server) with a deterministic mixed workload,
+  verify every answer bit-exactly against in-process solving, and write a
+  throughput/latency JSON artifact under ``benchmarks/results/`` that
+  ``scripts/check_serve.py`` gates in CI.
+
 Two auxiliary verbs: ``systems`` lists the Table 4 platforms plus the
 introspected local host, and ``sweep`` survives as a deprecated alias of
 ``report --kind heatmap``.
@@ -64,6 +77,7 @@ from repro.core.params import TunableParams
 from repro.facade.plan import load_plan, save_plan
 from repro.facade.tuners import TUNER_KINDS
 from repro.hardware import platforms
+from repro.server.loadgen import DEFAULT_MIX
 from repro.session import Session
 from repro.utils.logging import configure_logging
 from repro.version import __version__
@@ -299,6 +313,137 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     _add_report_args(report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve tuned wavefront solving over a concurrent HTTP endpoint",
+        description="Build a Session, warm its tuner, and serve it through "
+        "the repro.server subsystem: a bounded request queue with explicit "
+        "backpressure (HTTP 429 on overflow), a coalescing scheduler "
+        "collapsing same-signature requests into single executions, and "
+        "a JSON metrics page.  Shuts down gracefully on SIGINT/SIGTERM or "
+        "POST /shutdown: the queue drains, worker pools are released, and "
+        "the final metrics snapshot is printed (and saved with "
+        "--metrics-out).",
+        epilog="examples:\n"
+        "  repro-tune serve --system i3-540 --space tiny --port 8077\n"
+        "  repro-tune serve --system local --tuner measured --queue-size 256\n"
+        "  repro-tune serve --port 0 --ready-file /tmp/serve.addr  # CI/tests\n"
+        "\nendpoints:  POST /solve  GET /metrics  GET /healthz  POST /shutdown",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_system_arg(serve, "local", local=True)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8077, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--tuner",
+        default="learned",
+        choices=TUNER_KINDS,
+        help="tuning strategy answering the plans (default: learned)",
+    )
+    serve.add_argument("--space", default="tiny", choices=("paper", "reduced", "tiny"))
+    serve.add_argument("--mode", default="functional", choices=("functional", "simulate"))
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="admission-control bound; overflow answers HTTP 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="max same-signature requests coalesced per solve_many (default: 8)",
+    )
+    serve.add_argument(
+        "--server-workers",
+        type=int,
+        default=1,
+        help="scheduler worker threads (default: 1)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        help="seconds an HTTP handler waits for its result (default: 120)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the final metrics snapshot JSON here at shutdown",
+    )
+    serve.add_argument(
+        "--ready-file",
+        type=Path,
+        default=None,
+        help="write 'host:port' here once the endpoint is bound (for CI)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serving endpoint with a mixed workload; write the artifact",
+        description="Generate closed-loop (default) or open-loop (--rate) "
+        "load against a 'repro serve' endpoint (--url) or an in-process "
+        "server (no --url), verify every answer bit-exactly against "
+        "in-process Session.solve, and write a throughput/latency JSON "
+        "artifact.  The --system/--tuner/--space flags describe the serving "
+        "session so the verification reference resolves identical plans; "
+        "they must match the target server's configuration.",
+        epilog="examples:\n"
+        "  repro-tune loadgen --url http://127.0.0.1:8077 --system i3-540 --space tiny\n"
+        "  repro-tune loadgen --requests 60 --clients 4   # in-process server\n"
+        "  repro-tune loadgen --rate 50 --requests 200    # open loop, 50 req/s\n"
+        "  repro-tune loadgen --mix lcs:128,knapsack:96 --out /tmp/load.json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_system_arg(loadgen, "local", local=True)
+    loadgen.add_argument(
+        "--url",
+        default=None,
+        help="target endpoint base URL; omitted = drive an in-process server",
+    )
+    loadgen.add_argument(
+        "--tuner", default="learned", choices=TUNER_KINDS,
+        help="tuner of the reference (and in-process) session",
+    )
+    loadgen.add_argument("--space", default="tiny", choices=("paper", "reduced", "tiny"))
+    loadgen.add_argument("--mode", default="functional", choices=("functional", "simulate"))
+    loadgen.add_argument(
+        "--mix",
+        default=DEFAULT_MIX,
+        help=f"request cycle as app:dim,app:dim,... (default: {DEFAULT_MIX})",
+    )
+    loadgen.add_argument("--requests", type=int, default=60, help="total requests to issue")
+    loadgen.add_argument("--clients", type=int, default=4, help="concurrent client threads")
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop aggregate arrival rate in req/s (default: closed loop)",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=120.0, help="per-request timeout in seconds"
+    )
+    loadgen.add_argument(
+        "--queue-size", type=int, default=64, help="in-process server queue bound"
+    )
+    loadgen.add_argument(
+        "--max-batch", type=int, default=8, help="in-process server batch bound"
+    )
+    loadgen.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-exact verification against in-process solving",
+    )
+    loadgen.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"artifact path (default: {DEFAULT_BENCH_DIR}/serve_loadgen.json)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -736,6 +881,173 @@ def _report_measured(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` verb: expose one session over the HTTP serving layer."""
+    import signal
+    import threading
+
+    from repro.core.exceptions import ServerError
+    from repro.server import ReproServer, ServerConfig, ServingEndpoint
+
+    session = Session(
+        system=args.system,
+        tuner=args.tuner,
+        space=_space(args.space),
+        mode=args.mode,
+    )
+    server = None
+    try:
+        print(f"warming the {args.tuner!r} tuner for {session.system.name} ...")
+        session.tuner  # noqa: B018 - train/load before accepting traffic
+        # Built after the warm-up so the metrics uptime clock (the
+        # denominator of throughput_rps) starts when serving can, not when
+        # training did.
+        server = ReproServer(
+            session,
+            ServerConfig(
+                queue_capacity=args.queue_size,
+                max_batch=args.max_batch,
+                workers=args.server_workers,
+            ),
+            own_session=True,
+        )
+        try:
+            endpoint = ServingEndpoint(
+                server,
+                args.host,
+                args.port,
+                request_timeout_s=args.request_timeout,
+                log=print if args.verbose else None,
+            )
+        except OSError as exc:
+            raise ServerError(
+                f"cannot bind {args.host}:{args.port}: {exc}"
+            ) from None
+        host, port = endpoint.address
+        if args.ready_file is not None:
+            args.ready_file.parent.mkdir(parents=True, exist_ok=True)
+            args.ready_file.write_text(f"{host}:{port}\n", encoding="utf-8")
+        if threading.current_thread() is threading.main_thread():
+            # SIGINT/SIGTERM begin the same graceful drain as POST /shutdown.
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(signum, lambda *_: endpoint.begin_shutdown())
+        print(
+            f"serving {session.system.name} on {endpoint.url}  "
+            f"(queue={args.queue_size}, max-batch={args.max_batch}, "
+            f"workers={args.server_workers}, mode={args.mode})"
+        )
+        print("endpoints: POST /solve  GET /metrics  GET /healthz  POST /shutdown")
+        endpoint.serve_forever()
+        print("shutdown requested; draining the queue ...")
+    finally:
+        # Release the session's pools on any exit path — through the server
+        # once it exists, directly when warm-up/bind failed before that.
+        if server is not None:
+            server.close()
+        else:
+            session.close()
+    metrics = server.metrics()
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            json.dumps(metrics, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote final metrics to {args.metrics_out}")
+    requests = metrics["requests"]
+    latency = metrics["latency_ms"]
+    print(
+        f"served {requests['completed']} requests "
+        f"({requests['rejected']} rejected, {requests['failed']} failed) at "
+        f"{metrics['throughput_rps']:.1f} req/s; "
+        f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms"
+    )
+    return EXIT_OK
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """The ``loadgen`` verb: drive a serving target, verify, write artifact."""
+    from repro.server import (
+        HTTPTarget,
+        InProcessTarget,
+        LoadgenConfig,
+        ReproServer,
+        ServerConfig,
+        build_reference,
+        parse_mix,
+        run_loadgen,
+    )
+
+    if args.mode != "functional" and not args.no_verify:
+        raise UsageError(
+            "--mode simulate produces no grids to verify; pass --no-verify "
+            "to load-generate without the bit-exact check"
+        )
+    mix = parse_mix(args.mix)
+    config = LoadgenConfig(
+        mix=mix,
+        requests=args.requests,
+        clients=args.clients,
+        rate_rps=args.rate,
+        mode=args.mode,
+        timeout_s=args.timeout,
+    )
+
+    def make_session() -> Session:
+        """One session with the serving configuration of this invocation."""
+        return Session(
+            system=args.system, tuner=args.tuner, space=_space(args.space),
+            mode=args.mode,
+        )
+
+    own_server: ReproServer | None = None
+    if args.url is not None:
+        target: HTTPTarget | InProcessTarget = HTTPTarget(args.url)
+    else:
+        own_server = ReproServer(
+            make_session(),
+            ServerConfig(queue_capacity=args.queue_size, max_batch=args.max_batch),
+            own_session=True,
+        ).start()
+        target = InProcessTarget(own_server)
+    print(
+        f"loadgen -> {target.describe()}  "
+        f"({'open loop @ %g req/s' % args.rate if args.rate else 'closed loop'}, "
+        f"{args.requests} requests, {args.clients} clients, mix {args.mix})"
+    )
+    try:
+        reference = None
+        if not args.no_verify:
+            with make_session() as reference_session:
+                reference = build_reference(reference_session, mix, args.mode)
+            print(
+                f"reference: {len(reference.expected)} distinct instances, "
+                f"mean direct solve {reference.mean_solve_ms:.2f} ms"
+            )
+        payload = run_loadgen(target, config, reference, progress=print)
+    finally:
+        if own_server is not None:
+            own_server.close()
+
+    out = args.out
+    if out is None:
+        out = DEFAULT_BENCH_DIR / "serve_loadgen.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote loadgen artifact to {out}")
+
+    results = payload["results"]
+    if results["completed"] == 0:
+        print("ERROR: no request completed")
+        return EXIT_ERROR
+    if results["failed"] or results["mismatches"]:
+        print(
+            f"ERROR: {results['failed']} failed requests, "
+            f"{results['mismatches']} answers not matching in-process solving"
+        )
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 #: Verb dispatch table (the ``sweep`` alias forwards to ``report``).
 _HANDLERS = {
     "systems": cmd_systems,
@@ -744,6 +1056,8 @@ _HANDLERS = {
     "bench": cmd_bench,
     "profile": cmd_profile,
     "report": cmd_report,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "sweep": lambda args: cmd_report(args, deprecated_alias=True),
 }
 

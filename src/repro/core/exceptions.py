@@ -91,6 +91,26 @@ class ArtifactError(ReproError):
     """
 
 
+class ServerError(ReproError):
+    """The serving layer was used outside its lifecycle contract.
+
+    Examples: submitting to a :class:`repro.server.ReproServer` that was
+    closed, or waiting on a request whose server was torn down before the
+    request completed.
+    """
+
+
+class BackpressureError(ServerError):
+    """A request was rejected by admission control (the queue is full).
+
+    The serving layer's explicit backpressure signal: the bounded request
+    queue of :class:`repro.server.ReproServer` is at capacity, so the
+    request was refused instead of queued.  The HTTP endpoint maps this to
+    status 429; clients should retry with backoff or reduce their offered
+    load.
+    """
+
+
 class UsageError(ReproError):
     """The caller asked for something inconsistent (bad argument combination).
 

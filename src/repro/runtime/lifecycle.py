@@ -25,6 +25,7 @@ owns exactly one host and routes every execution through it.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 from repro.autotuner.protocol import split_backend
@@ -49,10 +50,13 @@ DEFAULT_MAX_POOLS = 4
 class EngineHost:
     """Owner of a session's long-lived execution resources.
 
-    One host serves one system.  It is safe to use from a single thread
-    (the session's); pools are handed out for the duration of one request
-    at a time — the borrowing executor binds the request's grid, runs, and
-    releases before the next request is served.
+    One host serves one system.  Cache lookups and construction are guarded
+    by an internal lock, so concurrent threads cannot corrupt the LRU state;
+    pools, however, remain single-request resources — the borrowing executor
+    binds the request's grid, runs, and releases before the next request is
+    served.  :class:`repro.session.Session` enforces that contract by
+    holding its run lock across every execution; direct multi-threaded users
+    must serialise executions the same way.
     """
 
     def __init__(
@@ -66,6 +70,7 @@ class EngineHost:
         self.constants = constants
         self._executors: LRUCache = LRUCache(max_executors)
         self._pools: LRUCache = LRUCache(max_pools, on_evict=self._evict_pool)
+        self._lock = threading.RLock()
         self._closed = False
         #: Construction/reuse counters, surfaced by the session's
         #: ``cache_info`` so tests and dashboards can assert reuse.
@@ -95,12 +100,13 @@ class EngineHost:
         engine = engine if engine is not None else alias_engine
         workers = max(1, int(workers))
         key = (strategy, engine, workers)
-        cached = self._executors.get(key)
-        if cached is not None:
-            return cached
-        executor = self._build_executor(strategy, engine, workers)
-        self.stats["executors_built"] += 1
-        return self._executors.put(key, executor)
+        with self._lock:
+            cached = self._executors.get(key)
+            if cached is not None:
+                return cached
+            executor = self._build_executor(strategy, engine, workers)
+            self.stats["executors_built"] += 1
+            return self._executors.put(key, executor)
 
     def _build_executor(
         self, strategy: str, engine: str | None, workers: int
@@ -143,14 +149,15 @@ class EngineHost:
         self._check_open()
         from repro.runtime.mp_parallel import MPWavefrontPool
 
-        self.stats["pool_requests"] += 1
-        key = (id(problem), int(tile), max(1, int(workers)))
-        pool = self._pools.get(key)
-        if pool is not None and pool.problem is problem and not pool.is_bound:
-            return pool
-        pool = MPWavefrontPool(problem, tile=tile, workers=max(1, int(workers)))
-        self.stats["pools_built"] += 1
-        return self._pools.put(key, pool)
+        with self._lock:
+            self.stats["pool_requests"] += 1
+            key = (id(problem), int(tile), max(1, int(workers)))
+            pool = self._pools.get(key)
+            if pool is not None and pool.problem is problem and not pool.is_bound:
+                return pool
+            pool = MPWavefrontPool(problem, tile=tile, workers=max(1, int(workers)))
+            self.stats["pools_built"] += 1
+            return self._pools.put(key, pool)
 
     @staticmethod
     def _evict_pool(key, pool) -> None:
@@ -170,11 +177,12 @@ class EngineHost:
 
     def close(self) -> None:
         """Shut every cached pool down and drop every cached executor."""
-        if self._closed:
-            return
-        self._pools.clear()  # eviction hook closes each pool
-        self._executors.clear()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._pools.clear()  # eviction hook closes each pool
+            self._executors.clear()
+            self._closed = True
 
     def _check_open(self) -> None:
         if self._closed:

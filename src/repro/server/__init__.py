@@ -1,0 +1,75 @@
+"""``repro.server`` — the concurrent serving subsystem over the session.
+
+The session facade (:class:`repro.session.Session`) made the tuned runtime
+callable; this package makes it **servable**: a thread-safe bounded request
+queue with explicit backpressure, a coalescing scheduler that collapses
+same-signature requests into single
+:meth:`~repro.session.Session.solve_many` executions (every ticket in a
+batch shares the one deterministic result), JSON metrics (latency
+percentiles, throughput, queue depth, batch sizes, cache hit rates), a
+stdlib HTTP/JSON endpoint and a load generator — the pieces behind the
+``repro serve`` and ``repro loadgen`` CLI verbs.
+
+Layering, bottom up:
+
+* :mod:`repro.server.queue` — :class:`RequestQueue` (admission control,
+  signature-aware batch drains) and :class:`ServeRequest` (the ticket);
+* :mod:`repro.server.metrics` — :class:`ServerMetrics` and the shared
+  latency summary helper;
+* :mod:`repro.server.service` — :class:`ReproServer` + :class:`ServerConfig`,
+  the scheduler workers and graceful drain/shutdown;
+* :mod:`repro.server.http` — :class:`ServingEndpoint`, the bound HTTP
+  endpoint (``POST /solve``, ``GET /metrics``, ``GET /healthz``,
+  ``POST /shutdown``);
+* :mod:`repro.server.loadgen` — :class:`LoadgenConfig`, targets and
+  :func:`run_loadgen`, writing the artifact ``scripts/check_serve.py``
+  gates.
+
+Typical embedding::
+
+    from repro import Session
+    from repro.server import ReproServer, ServerConfig
+
+    with Session(system="local", tuner="measured") as session:
+        with ReproServer(session, ServerConfig(max_batch=16)) as server:
+            result = server.solve("lcs", 512, timeout=30)
+
+See ``docs/serving.md`` for the architecture, endpoint and metrics-schema
+reference.
+"""
+
+from repro.server.loadgen import (
+    DEFAULT_MIX,
+    HTTPTarget,
+    InProcessTarget,
+    LoadgenConfig,
+    ReferenceAnswers,
+    build_reference,
+    parse_mix,
+    run_loadgen,
+)
+from repro.server.http import ServingEndpoint, grid_digest, result_payload
+from repro.server.metrics import ServerMetrics, summarise_latencies
+from repro.server.queue import RequestQueue, ServeRequest, request_signature
+from repro.server.service import ReproServer, ServerConfig
+
+__all__ = [
+    "ReproServer",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServingEndpoint",
+    "RequestQueue",
+    "ServeRequest",
+    "LoadgenConfig",
+    "HTTPTarget",
+    "InProcessTarget",
+    "ReferenceAnswers",
+    "DEFAULT_MIX",
+    "build_reference",
+    "parse_mix",
+    "run_loadgen",
+    "request_signature",
+    "result_payload",
+    "grid_digest",
+    "summarise_latencies",
+]

@@ -1,0 +1,272 @@
+"""Stdlib HTTP/JSON endpoint over :class:`repro.server.ReproServer`.
+
+``repro serve`` binds a :class:`ThreadingHTTPServer` whose handler threads
+submit into the server's bounded queue and block until the scheduler
+completes their ticket — so HTTP concurrency is naturally capped by
+admission control, and overload answers ``429`` instead of stalling.
+
+Routes (all JSON):
+
+* ``POST /solve`` — body ``{"app": ..., "dim": ..., "mode": ...,
+  "backend": ..., "workers": ..., ...}`` (everything beyond app/dim/mode
+  forwards to :meth:`repro.session.Session.plan`); answers the result
+  payload of :func:`result_payload`.
+* ``GET /metrics`` — the server's metrics snapshot
+  (:meth:`repro.server.ReproServer.metrics`).
+* ``GET /healthz`` — liveness: ``{"status": "ok", "uptime_s": ...}``.
+* ``POST /shutdown`` — begins a graceful drain + stop; answers ``202``.
+
+Error mapping: backpressure → 429, usage/unknown-name errors → 400, missing
+artifacts → 409, any other framework error → 500; every error body is
+``{"error": {"type": ..., "message": ...}}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+import numpy as np
+
+from repro.core.exceptions import (
+    ArtifactError,
+    BackpressureError,
+    RegistryError,
+    ServerError,
+    UsageError,
+)
+from repro.runtime.result import ExecutionResult
+from repro.server.service import ReproServer
+
+#: Default solve timeout an HTTP handler waits before answering 503
+#: (the timeout surfaces as a ``ServerError``).
+DEFAULT_REQUEST_TIMEOUT_S = 120.0
+
+
+def grid_digest(result: ExecutionResult) -> str | None:
+    """SHA-256 of the result grid's raw bytes (functional mode only).
+
+    A compact, bit-exact fingerprint: two grids share a digest iff their
+    float values are byte-identical, which is how the load generator proves
+    HTTP answers equal in-process :meth:`repro.session.Session.solve` grids
+    without shipping whole grids over the wire.
+    """
+    if result.grid is None:
+        return None
+    return hashlib.sha256(
+        np.ascontiguousarray(result.grid.values).tobytes()
+    ).hexdigest()
+
+
+def result_payload(app: str, dim: int | None, result: ExecutionResult) -> dict:
+    """The JSON body answering one successful ``POST /solve``."""
+    payload = {
+        "app": app,
+        "dim": result.params.dim if dim is None else dim,
+        "system": result.system,
+        "mode": result.mode,
+        "rtime_s": result.rtime,
+        "wall_time_s": result.wall_time,
+        "tunables": {k: int(v) for k, v in result.tunables.features().items()},
+        "grid_sha256": grid_digest(result),
+    }
+    if result.grid is not None:
+        payload["value"] = result.value
+        payload["checksum"] = result.checksum
+    return payload
+
+
+def error_status(error: BaseException) -> int:
+    """Map one framework error to its HTTP status code."""
+    if isinstance(error, BackpressureError):
+        return 429
+    if isinstance(error, (UsageError, RegistryError)):
+        return 400
+    if isinstance(error, ArtifactError):
+        return 409
+    if isinstance(error, ServerError):
+        return 503
+    return 500
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ServingEndpoint` instance."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass below carries the endpoint.
+    @property
+    def endpoint(self) -> "ServingEndpoint":
+        """The serving endpoint that owns this handler's HTTP server."""
+        return self.server.endpoint  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve the observability routes."""
+        if self.path == "/metrics":
+            self._reply(200, self.endpoint.repro_server.metrics())
+        elif self.path == "/healthz":
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": self.endpoint.repro_server.metrics_store.uptime_s,
+                },
+            )
+        else:
+            self._reply(404, _error_body(ServerError(f"no route {self.path!r}"), 404))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve the solve and shutdown routes."""
+        if self.path == "/solve":
+            self._solve()
+        elif self.path == "/shutdown":
+            self._reply(202, {"status": "draining"})
+            self.endpoint.begin_shutdown()
+        else:
+            self._reply(404, _error_body(ServerError(f"no route {self.path!r}"), 404))
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        """Decode one solve request, run it through the queue, answer JSON."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict) or "app" not in body:
+                raise UsageError('POST /solve body must be JSON with an "app" key')
+        except (ValueError, UsageError) as error:
+            self._reply(400, _error_body(error, 400))
+            return
+        app = body.pop("app")
+        dim = body.pop("dim", None)
+        mode = body.pop("mode", None)
+        ticket = None
+        try:
+            ticket = self.endpoint.repro_server.submit(
+                app, dim, mode=mode, **body
+            )
+            result = ticket.result(timeout=self.endpoint.request_timeout_s)
+        except Exception as error:  # noqa: BLE001 - every failure answers JSON
+            # ReproErrors map to their documented statuses; anything else
+            # (e.g. a TypeError from bad constructor kwargs) answers 500
+            # instead of dropping the connection without a response.  A
+            # still-pending ticket (result timeout) is cancelled so the
+            # scheduler never does ghost work for this gone client.
+            if ticket is not None:
+                ticket.cancel()
+            status = error_status(error)
+            self._reply(status, _error_body(error, status))
+            return
+        self._reply(200, result_payload(app, dim, result))
+
+    def _reply(self, status: int, payload: dict) -> None:
+        """Send one JSON response."""
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route per-request logging through the endpoint's logger hook."""
+        self.endpoint.log(format % args)
+
+
+def _error_body(error: BaseException, status: int) -> dict:
+    """The JSON body of one error response."""
+    return {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "status": status,
+        }
+    }
+
+
+class _EndpointHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows the endpoint it serves."""
+
+    daemon_threads = True
+    endpoint: "ServingEndpoint"
+
+
+class ServingEndpoint:
+    """One bound HTTP endpoint over one :class:`ReproServer`.
+
+    Owns the listening socket (``port=0`` binds an ephemeral port — read the
+    real one from :attr:`address`) and the shutdown choreography: a
+    ``POST /shutdown`` (or :meth:`begin_shutdown`) stops the accept loop,
+    after which :meth:`serve_forever` returns and the caller closes the
+    repro server behind it.
+    """
+
+    def __init__(
+        self,
+        repro_server: ReproServer,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        *,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        self.repro_server = repro_server
+        self.request_timeout_s = float(request_timeout_s)
+        self._log = log
+        self._httpd = _EndpointHTTPServer((host, port), _ServeHandler)
+        self._httpd.endpoint = self
+        self._shutdown_requested = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound ``(host, port)`` (resolves ``port=0``)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound endpoint."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def shutdown_requested(self) -> bool:
+        """True once a shutdown was requested (route or method)."""
+        return self._shutdown_requested.is_set()
+
+    def log(self, message: str) -> None:
+        """Forward one access-log line to the configured hook (or drop it)."""
+        if self._log is not None:
+            self._log(message)
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the accept loop until :meth:`begin_shutdown` (blocking)."""
+        self.repro_server.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._httpd.server_close()
+
+    def begin_shutdown(self) -> None:
+        """Stop the accept loop from any thread; idempotent.
+
+        ``serve_forever`` returns soon after; the in-flight handler that
+        called this still gets its response out because the HTTP server's
+        shutdown only stops *accepting*, it does not kill handler threads.
+        """
+        if self._shutdown_requested.is_set():
+            return
+        self._shutdown_requested.set()
+        threading.Thread(
+            target=self._httpd.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+    def close(self) -> None:
+        """Stop accepting and gracefully close the repro server behind."""
+        self.begin_shutdown()
+        self.repro_server.close()

@@ -1,0 +1,399 @@
+"""Closed/open-loop load generator for the serving layer (``repro loadgen``).
+
+Drives a target — an HTTP endpoint started by ``repro serve`` or an
+in-process :class:`repro.server.ReproServer` — with a deterministic mixed
+workload, verifies every answer bit-exactly against an in-process reference
+:class:`repro.session.Session`, and writes a throughput/latency JSON
+artifact (by default under ``benchmarks/results/``) that
+``scripts/check_serve.py`` gates in CI.
+
+* **closed loop** (default): ``clients`` threads issue requests
+  back-to-back; offered load adapts to service rate, so this measures
+  capacity.
+* **open loop** (``rate_rps``): requests fire on a fixed arrival schedule
+  regardless of completions, so queueing delay (and eventually
+  backpressure) becomes visible.
+
+Verification keys off the grid fingerprint: the reference session solves
+each distinct ``(app, dim)`` of the mix once, and every served answer must
+match its SHA-256 grid digest (HTTP) or its full grid bit-for-bit
+(in-process) — the "grids identical to in-process solving" acceptance
+criterion, enforced on every request.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import BackpressureError, ServerError, UsageError
+from repro.server.http import grid_digest
+from repro.server.service import ReproServer
+from repro.session import Session
+from repro.server.metrics import summarise_latencies
+
+#: Schema marker of the loadgen artifact (bumped on layout changes).
+LOADGEN_FORMAT_VERSION = 1
+
+#: Default request mix: three small DP apps, distinct signatures.
+DEFAULT_MIX = "lcs:48,edit-distance:40,matrix-chain:32"
+
+
+def parse_mix(spec: str) -> tuple[tuple[str, int], ...]:
+    """Parse a ``"app:dim,app:dim,..."`` mix specification.
+
+    Raises :class:`~repro.core.exceptions.UsageError` on malformed entries;
+    application names are validated later by the session/registry.
+    """
+    mix: list[tuple[str, int]] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        app, sep, dim_text = entry.partition(":")
+        if not sep or not app:
+            raise UsageError(
+                f"bad mix entry {entry!r}: expected app:dim (e.g. lcs:48)"
+            )
+        try:
+            dim = int(dim_text)
+        except ValueError:
+            raise UsageError(f"bad mix dim {dim_text!r} in {entry!r}") from None
+        mix.append((app, dim))
+    if not mix:
+        raise UsageError(f"mix {spec!r} contains no app:dim entries")
+    return tuple(mix)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Workload shape of one load-generation run.
+
+    ``mix`` is the request cycle (request *i* targets ``mix[i % len]``,
+    making the workload deterministic); ``requests`` is the total issued;
+    ``clients`` the number of concurrent issuing threads; ``rate_rps``
+    switches to open-loop arrivals at that aggregate rate; ``mode`` is the
+    execution mode forwarded with every request; ``timeout_s`` bounds each
+    individual request.
+    """
+
+    mix: tuple[tuple[str, int], ...]
+    requests: int = 60
+    clients: int = 4
+    rate_rps: float | None = None
+    mode: str = "functional"
+    timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        """Validate the workload shape once."""
+        if self.requests < 1:
+            raise UsageError(f"requests must be >= 1, got {self.requests}")
+        if self.clients < 1:
+            raise UsageError(f"clients must be >= 1, got {self.clients}")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise UsageError(f"rate must be > 0, got {self.rate_rps}")
+
+
+# ----------------------------------------------------------------------
+# Targets
+# ----------------------------------------------------------------------
+class HTTPTarget:
+    """A remote ``repro serve`` endpoint driven over HTTP/JSON."""
+
+    kind = "http"
+
+    def __init__(self, url: str) -> None:
+        self.url = url.rstrip("/")
+
+    def describe(self) -> str:
+        """The target identifier recorded in the artifact."""
+        return self.url
+
+    def solve(self, app: str, dim: int, mode: str, timeout_s: float) -> dict:
+        """POST one solve; return the response payload.
+
+        Raises :class:`~repro.core.exceptions.ServerError` carrying the
+        endpoint's error type for non-200 answers (429 stays recognisable
+        through the ``backpressure`` flag on the raised error).
+        """
+        body = json.dumps({"app": app, "dim": dim, "mode": mode}).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.url}/solve",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout_s) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as http_error:
+            payload = _safe_json(http_error)
+            error = ServerError(
+                f"{app}[dim={dim}] -> HTTP {http_error.code}: "
+                f"{payload.get('error', {}).get('message', http_error.reason)}"
+            )
+            error.status = http_error.code  # type: ignore[attr-defined]
+            raise error from None
+
+    def metrics(self, timeout_s: float = 10.0) -> dict:
+        """Fetch the endpoint's ``GET /metrics`` snapshot."""
+        with urllib.request.urlopen(
+            f"{self.url}/metrics", timeout=timeout_s
+        ) as response:
+            return json.loads(response.read())
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Request a graceful remote shutdown (``POST /shutdown``)."""
+        request = urllib.request.Request(f"{self.url}/shutdown", method="POST")
+        with urllib.request.urlopen(request, timeout=timeout_s):
+            pass
+
+
+class InProcessTarget:
+    """An in-process :class:`ReproServer` driven directly (no sockets).
+
+    The test-friendly mode: same queue, scheduler and metrics as the HTTP
+    path, but answers carry the full grid so verification can compare
+    bit-for-bit instead of by digest.
+    """
+
+    kind = "in-process"
+
+    def __init__(self, server: ReproServer) -> None:
+        self.server = server
+
+    def describe(self) -> str:
+        """The target identifier recorded in the artifact."""
+        return f"in-process:{self.server.session.system.name}"
+
+    def solve(self, app: str, dim: int, mode: str, timeout_s: float) -> dict:
+        """Submit through the server's queue; normalise to the HTTP payload."""
+        result = self.server.solve(app, dim, mode=mode, timeout=timeout_s)
+        return {"app": app, "dim": dim, **_answer_payload(result)}
+
+    def metrics(self, timeout_s: float = 10.0) -> dict:
+        """The server's metrics snapshot."""
+        return self.server.metrics()
+
+
+def _safe_json(http_error: urllib.error.HTTPError) -> dict:
+    """Best-effort decode of an error response body."""
+    try:
+        return json.loads(http_error.read())
+    except Exception:  # noqa: BLE001 - any undecodable body is just empty
+        return {}
+
+
+def _answer_payload(result) -> dict:
+    """The verification fields of one execution result.
+
+    The single source of the fields :func:`_verify` compares — both the
+    in-process target's answers and the reference's expectations build on
+    it, so they can never drift apart field-by-field.
+    """
+    return {
+        "value": result.value if result.grid is not None else None,
+        "checksum": result.checksum if result.grid is not None else None,
+        "grid_sha256": grid_digest(result),
+        "_grid": result.grid,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reference answers
+# ----------------------------------------------------------------------
+@dataclass
+class ReferenceAnswers:
+    """Per-(app, dim) expected results from one in-process reference session.
+
+    ``solve_ms`` records the best direct in-process solve wall-clock per mix
+    entry — the machine-neutral denominator ``scripts/check_serve.py`` uses
+    to turn absolute serving latency into an overhead ratio.
+    """
+
+    expected: dict[tuple[str, int], dict] = field(default_factory=dict)
+    solve_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_solve_ms(self) -> float:
+        """Mean direct-solve time over the mix entries."""
+        if not self.solve_ms:
+            return 0.0
+        return sum(self.solve_ms.values()) / len(self.solve_ms)
+
+
+def build_reference(
+    session: Session,
+    mix: tuple[tuple[str, int], ...],
+    mode: str,
+    repeats: int = 3,
+) -> ReferenceAnswers:
+    """Solve each distinct mix entry in-process; record answers and timings.
+
+    The first (warming) solve resolves the plan and is discarded from the
+    timing; the best of ``repeats`` warm solves is kept, matching the bench
+    verb's best-of-N convention.
+    """
+    reference = ReferenceAnswers()
+    for app, dim in dict.fromkeys(mix):
+        result = session.solve(app, dim, mode=mode)
+        walls = []
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = session.solve(app, dim, mode=mode)
+            walls.append(time.perf_counter() - t0)
+        reference.expected[(app, dim)] = _answer_payload(result)
+        reference.solve_ms[f"{app}:{dim}"] = min(walls) * 1e3
+    return reference
+
+
+def _verify(answer: dict, expected: dict) -> bool:
+    """True when one served answer matches the reference bit-exactly.
+
+    Grid-less results (simulate mode) can never verify: a missing digest is
+    a mismatch, not a vacuous pass — callers wanting unverified simulate
+    runs must opt out of verification explicitly.
+    """
+    if answer.get("_grid") is not None and expected.get("_grid") is not None:
+        return bool(
+            np.array_equal(answer["_grid"].values, expected["_grid"].values)
+        )
+    if answer.get("grid_sha256") is None or expected.get("grid_sha256") is None:
+        return False
+    return answer.get("grid_sha256") == expected.get("grid_sha256") and answer.get(
+        "checksum"
+    ) == expected.get("checksum")
+
+
+# ----------------------------------------------------------------------
+# The run loop
+# ----------------------------------------------------------------------
+def run_loadgen(
+    target: HTTPTarget | InProcessTarget,
+    config: LoadgenConfig,
+    reference: ReferenceAnswers | None = None,
+    progress=None,
+) -> dict:
+    """Drive ``target`` with the configured workload; return the artifact.
+
+    ``reference`` enables per-request bit-exact verification (mismatches are
+    counted, never raised — the artifact reports them and the CLI turns
+    them into a non-zero exit).  ``progress`` is an optional one-line
+    callback.
+    """
+    schedule_start = time.perf_counter()
+    counter = iter(range(config.requests))
+    counter_lock = threading.Lock()
+    stats_lock = threading.Lock()
+    latencies: list[float] = []
+    outcomes = {"completed": 0, "rejected": 0, "failed": 0, "mismatches": 0}
+    errors: list[str] = []
+
+    def next_index() -> int | None:
+        """Claim the next global request index (None when exhausted)."""
+        with counter_lock:
+            return next(counter, None)
+
+    def client_loop() -> None:
+        """One client thread: claim, pace (open loop), fire, verify."""
+        while True:
+            index = next_index()
+            if index is None:
+                return
+            if config.rate_rps is not None:
+                planned = schedule_start + index / config.rate_rps
+                delay = planned - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            app, dim = config.mix[index % len(config.mix)]
+            t0 = time.perf_counter()
+            try:
+                answer = target.solve(app, dim, config.mode, config.timeout_s)
+            except Exception as error:  # noqa: BLE001 - recorded, not raised
+                status = getattr(error, "status", None)
+                backpressure = status == 429 or isinstance(
+                    error, BackpressureError
+                )
+                with stats_lock:
+                    if backpressure:
+                        outcomes["rejected"] += 1
+                    else:
+                        outcomes["failed"] += 1
+                        if len(errors) < 10:
+                            errors.append(str(error))
+                continue
+            latency = time.perf_counter() - t0
+            with stats_lock:
+                latencies.append(latency)
+                outcomes["completed"] += 1
+                if reference is not None:
+                    expected = reference.expected.get((app, dim))
+                    if expected is None or not _verify(answer, expected):
+                        outcomes["mismatches"] += 1
+                        if len(errors) < 10:
+                            errors.append(
+                                f"{app}:{dim} answer does not match the "
+                                "in-process reference"
+                            )
+
+    threads = [
+        threading.Thread(target=client_loop, name=f"loadgen-client-{i}")
+        for i in range(config.clients)
+    ]
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - t_start
+
+    if progress is not None:
+        progress(
+            f"loadgen: {outcomes['completed']}/{config.requests} completed in "
+            f"{wall_s:.2f}s ({outcomes['completed'] / wall_s:.1f} req/s), "
+            f"{outcomes['rejected']} rejected, {outcomes['failed']} failed, "
+            f"{outcomes['mismatches']} mismatches"
+        )
+
+    try:
+        server_metrics = target.metrics()
+    except Exception as error:  # noqa: BLE001 - metrics are best-effort here
+        server_metrics = {"error": str(error)}
+
+    return {
+        "format_version": LOADGEN_FORMAT_VERSION,
+        "meta": {
+            "target": target.describe(),
+            "target_kind": target.kind,
+            "mix": [f"{app}:{dim}" for app, dim in config.mix],
+            "requests": config.requests,
+            "clients": config.clients,
+            "rate_rps": config.rate_rps,
+            "mode": config.mode,
+            "loop": "open" if config.rate_rps is not None else "closed",
+            "python": sys.version.split()[0],
+        },
+        "results": {
+            **outcomes,
+            "wall_s": wall_s,
+            "throughput_rps": outcomes["completed"] / wall_s if wall_s > 0 else 0.0,
+            "latency_ms": summarise_latencies(latencies),
+            "errors": errors,
+        },
+        "reference": (
+            {
+                "solve_ms": dict(reference.solve_ms),
+                "mean_solve_ms": reference.mean_solve_ms,
+            }
+            if reference is not None
+            else None
+        ),
+        "server_metrics": server_metrics,
+    }

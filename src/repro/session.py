@@ -28,14 +28,17 @@ Design points:
   ``cache_size``, so a session serving millions of requests holds a
   constant amount of memory and worker processes.
 
-The CLI's five verbs (``run``, ``tune``, ``bench``, ``profile``,
-``report``) are thin adapters over this class; the historical
+The CLI's workflow verbs (``run``, ``tune``, ``bench``, ``profile``,
+``report``, ``serve``, ``loadgen``) are thin adapters over this class (the
+serving verbs through :class:`repro.server.ReproServer`, which shares one
+thread-safe session across its workers); the historical
 :func:`repro.autotuner.tuner.autotune_and_run` helper survives as a
 deprecated shim delegating here.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.apps.base import WavefrontApplication
@@ -75,6 +78,16 @@ class Session:
     ``workers`` — when set — overrides every plan's worker count (useful to
     force or forbid multiprocessing).  Close the session (or use it as a
     context manager) to shut down its worker pools deterministically.
+
+    **Thread safety.**  One session may be shared by many threads (the
+    serving layer, :class:`repro.server.ReproServer`, does exactly that):
+    planning runs under a plan lock — so the tuner is built once and N
+    concurrent requests for one signature cost one resolution — and
+    execution runs under a run lock, so the stateful runtime resources
+    (borrowed worker pools, shared-memory grids) are never entered
+    concurrently.  Executions therefore serialise per session; concurrent
+    throughput comes from batching (:meth:`solve_many` and the server's
+    coalescing scheduler), not from overlapping grid sweeps.
     """
 
     def __init__(
@@ -114,6 +127,11 @@ class Session:
         self.host = EngineHost(self.system, constants, **host_kwargs)
         self._plans: LRUCache = LRUCache(self.cache_size)
         self._problems: LRUCache = LRUCache(self.cache_size)
+        # Reentrant so plan() may build the tuner (and close() may drain
+        # both) under one acquisition; plan lock and run lock are only ever
+        # taken in that order, never nested the other way round.
+        self._plan_lock = threading.RLock()
+        self._run_lock = threading.RLock()
         self._closed = False
         #: Request counters surfaced by :meth:`cache_info`.
         self.stats: dict[str, int] = {
@@ -127,17 +145,23 @@ class Session:
     # ------------------------------------------------------------------
     @property
     def tuner(self) -> Tuner:
-        """The session's tuning strategy, built (and trained) on first use."""
+        """The session's tuning strategy, built (and trained) on first use.
+
+        Construction happens under the plan lock, so concurrent first
+        touches train exactly one tuner.
+        """
         if self._tuner is None:
-            self._tuner = make_tuner(
-                self._tuner_spec,
-                self.system,
-                space=self.space,
-                constants=self.constants,
-                model_path=self.model_path,
-                profile_path=self.profile_path,
-                plan_cache_size=self.cache_size,
-            )
+            with self._plan_lock:
+                if self._tuner is None:
+                    self._tuner = make_tuner(
+                        self._tuner_spec,
+                        self.system,
+                        space=self.space,
+                        constants=self.constants,
+                        model_path=self.model_path,
+                        profile_path=self.profile_path,
+                        plan_cache_size=self.cache_size,
+                    )
         return self._tuner
 
     @property
@@ -151,8 +175,9 @@ class Session:
         Cached plans from the previous strategy are dropped; problems,
         engines and worker pools are kept (they are tuner-independent).
         """
-        self._tuner = tuner
-        self._plans.clear()
+        with self._plan_lock:
+            self._tuner = tuner
+            self._plans.clear()
         return self
 
     # ------------------------------------------------------------------
@@ -187,34 +212,41 @@ class Session:
         :meth:`run` executes exactly what was handed in.
         """
         self._check_open()
-        if isinstance(app, WavefrontProblem):
-            if app_kwargs:
-                raise UsageError(
-                    "constructor arguments cannot be applied to an "
-                    "already-built problem"
+        with self._plan_lock:
+            if isinstance(app, WavefrontProblem):
+                if app_kwargs:
+                    raise UsageError(
+                        "constructor arguments cannot be applied to an "
+                        "already-built problem"
+                    )
+                return self._resolve(
+                    app, app.name, (), backend, engine, workers, tunables
                 )
-            return self._resolve(app, app.name, (), backend, engine, workers, tunables)
-        if isinstance(app, WavefrontApplication):
-            if app_kwargs:
-                raise UsageError(
-                    f"cannot apply constructor arguments {sorted(app_kwargs)} to "
-                    f"an already-built application instance {app.name!r}"
+            if isinstance(app, WavefrontApplication):
+                if app_kwargs:
+                    raise UsageError(
+                        f"cannot apply constructor arguments {sorted(app_kwargs)} to "
+                        f"an already-built application instance {app.name!r}"
+                    )
+                dim = dim if dim is not None else app.default_dim
+                problem = self._instance_problem(app, dim)
+                return self._resolve(
+                    problem, app.name, (), backend, engine, workers, tunables
                 )
-            dim = dim if dim is not None else app.default_dim
-            problem = self._instance_problem(app, dim)
-            return self._resolve(problem, app.name, (), backend, engine, workers, tunables)
-        app_obj = resolve_application(app, **self._ctor_kwargs(dim, app_kwargs))
-        dim = dim if dim is not None else app_obj.default_dim
-        kwargs_key = tuple(sorted(app_kwargs.items()))
-        query = (app, dim, kwargs_key, backend, engine, workers, tunables)
-        cached = self._plans.get(query)
-        if cached is not None:
-            return cached
-        problem = self._problems.get_or_create(
-            (app, dim, kwargs_key), lambda: app_obj.problem(dim)
-        )
-        plan = self._resolve(problem, app, kwargs_key, backend, engine, workers, tunables)
-        return self._plans.put(query, plan)
+            app_obj = resolve_application(app, **self._ctor_kwargs(dim, app_kwargs))
+            dim = dim if dim is not None else app_obj.default_dim
+            kwargs_key = tuple(sorted(app_kwargs.items()))
+            query = (app, dim, kwargs_key, backend, engine, workers, tunables)
+            cached = self._plans.get(query)
+            if cached is not None:
+                return cached
+            problem = self._problems.get_or_create(
+                (app, dim, kwargs_key), lambda: app_obj.problem(dim)
+            )
+            plan = self._resolve(
+                problem, app, kwargs_key, backend, engine, workers, tunables
+            )
+            return self._plans.put(query, plan)
 
     @staticmethod
     def _ctor_kwargs(dim, app_kwargs: dict) -> dict:
@@ -293,6 +325,10 @@ class Session:
         execute it directly; replayed plans (loaded from JSON) rebuild the
         problem through the application registry, cached per (app, dim,
         overrides).  ``mode`` defaults to the session's mode.
+
+        The whole execution holds the session's run lock: borrowed worker
+        pools and shared-memory grids are single-request resources, so
+        concurrent callers queue here and run one after another.
         """
         self._check_open()
         mode = ExecutionMode.coerce(mode) if mode is not None else self.mode
@@ -305,9 +341,11 @@ class Session:
                 ).problem(plan.dim),
             )
         strategy, engine = plan.split()
-        executor = self.host.executor_for(strategy, engine, plan.workers)
-        self.stats["runs"] += 1
-        return executor.execute(problem, plan.tunables, mode=mode)
+        with self._run_lock:
+            self._check_open()
+            executor = self.host.executor_for(strategy, engine, plan.workers)
+            self.stats["runs"] += 1
+            return executor.execute(problem, plan.tunables, mode=mode)
 
     def solve(
         self,
@@ -345,7 +383,8 @@ class Session:
                 results.append(self.solve(app, dim, mode=mode))
             else:
                 results.append(self.solve(request, mode=mode))
-            self.stats["requests_served"] += 1
+            with self._run_lock:
+                self.stats["requests_served"] += 1
         return results
 
     # ------------------------------------------------------------------
@@ -424,13 +463,19 @@ class Session:
         }
 
     def close(self) -> None:
-        """Release worker pools, engines and caches; the session stays closed."""
-        if self._closed:
-            return
-        self.host.close()
-        self._plans.clear()
-        self._problems.clear()
-        self._closed = True
+        """Release worker pools, engines and caches; the session stays closed.
+
+        Takes both locks (plan first, then run — the only nesting order used
+        anywhere), so an in-flight execution finishes before its pools are
+        torn down.
+        """
+        with self._plan_lock, self._run_lock:
+            if self._closed:
+                return
+            self.host.close()
+            self._plans.clear()
+            self._problems.clear()
+            self._closed = True
 
     def _check_open(self) -> None:
         if self._closed:

@@ -7,10 +7,17 @@ one bounded-cache implementation they all share: an ordered-dict LRU with a
 configurable ``maxsize``, an optional ``on_evict`` callback (used to close
 worker pools when their cache slot is reclaimed) and hit/miss counters that
 the session surfaces through :meth:`repro.session.Session.cache_info`.
+
+The cache is **thread-safe**: every operation (including the eviction hook
+and :meth:`LRUCache.get_or_create`'s factory call) runs under one reentrant
+lock, so a session shared across server worker threads
+(:class:`repro.server.ReproServer`) cannot corrupt the recency order or
+build the same expensive entry twice.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterator
 
@@ -28,6 +35,12 @@ class LRUCache:
     replaced by :meth:`put`, or flushed by :meth:`clear`.  Only :meth:`get`
     and :meth:`put` refresh recency; membership tests and :meth:`values`
     observe without touching the LRU order.
+
+    All operations hold one :class:`threading.RLock`.  The lock is reentrant
+    because both the eviction hook and :meth:`get_or_create`'s factory may
+    legitimately touch the same cache again from the same thread; holding it
+    across the factory also guarantees concurrent ``get_or_create`` calls
+    for one key build the value exactly once.
     """
 
     def __init__(
@@ -40,57 +53,69 @@ class LRUCache:
         self.maxsize = int(maxsize)
         self._on_evict = on_evict
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._data)
+        with self._lock:
+            return iter(list(self._data))
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (refreshing recency) or ``default``."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
 
     def put(self, key: Hashable, value: Any) -> Any:
         """Insert ``key -> value``, evicting the oldest entry on overflow.
 
         Returns ``value`` so call sites can cache and use in one expression.
         """
-        if key in self._data:
-            old = self._data.pop(key)
-            if old is not value:
-                self._evicted(key, old)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            old_key, old_value = self._data.popitem(last=False)
-            self.evictions += 1
-            self._evicted(old_key, old_value)
-        return value
+        with self._lock:
+            if key in self._data:
+                old = self._data.pop(key)
+                if old is not value:
+                    self._evicted(key, old)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                old_key, old_value = self._data.popitem(last=False)
+                self.evictions += 1
+                self._evicted(old_key, old_value)
+            return value
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """Return the cached value, building (and caching) it on a miss."""
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = self.put(key, factory())
-        return value
+        """Return the cached value, building (and caching) it on a miss.
+
+        The factory runs under the cache lock, so one slow build blocks (and
+        is then shared by) every other thread asking for the same key.
+        """
+        with self._lock:
+            value = self.get(key, _MISSING)
+            if value is _MISSING:
+                value = self.put(key, factory())
+            return value
 
     def pop(self, key: Hashable, default: Any = _MISSING) -> Any:
         """Remove and return an entry *without* firing the eviction hook."""
-        if key in self._data:
-            return self._data.pop(key)
+        with self._lock:
+            if key in self._data:
+                return self._data.pop(key)
         if default is _MISSING:
             raise KeyError(key)
         return default
@@ -101,23 +126,26 @@ class LRUCache:
         Counters survive a clear so post-shutdown introspection (e.g. a
         closed session's ``cache_info``) still reports lifetime statistics.
         """
-        while self._data:
-            key, value = self._data.popitem(last=False)
-            self._evicted(key, value)
+        with self._lock:
+            while self._data:
+                key, value = self._data.popitem(last=False)
+                self._evicted(key, value)
 
     def values(self) -> list[Any]:
         """Current values, oldest first (does not refresh recency)."""
-        return list(self._data.values())
+        with self._lock:
+            return list(self._data.values())
 
     def info(self) -> dict[str, int]:
         """Counters in the style of :func:`functools.lru_cache`'s cache_info."""
-        return {
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     # ------------------------------------------------------------------
     def _evicted(self, key: Hashable, value: Any) -> None:

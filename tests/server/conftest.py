@@ -1,0 +1,19 @@
+"""Shared fixtures of the serving-layer tests.
+
+One module-scoped session (tiny-space learned tuner on the single-GPU
+system) backs every server, so the suite trains once and exercises the
+thread-safety of *sharing* — which is exactly the serving contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def serve_session(quick_tuner_i3, i3):
+    """A session over the shared tiny-space tuner, shared across tests."""
+    with Session(system=i3, tuner=quick_tuner_i3) as session:
+        yield session

@@ -1,0 +1,135 @@
+"""Tests for the HTTP/JSON endpoint (routes, error mapping, shutdown)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import ReproServer, ServerConfig, ServingEndpoint
+
+
+@pytest.fixture()
+def endpoint(serve_session):
+    """A live endpoint on an ephemeral port, torn down after the test."""
+    server = ReproServer(serve_session, ServerConfig(queue_capacity=32))
+    ep = ServingEndpoint(server, port=0)
+    thread = threading.Thread(target=ep.serve_forever, daemon=True)
+    thread.start()
+    yield ep
+    ep.begin_shutdown()
+    thread.join(timeout=10)
+    server.close()
+
+
+def get_json(url, timeout=10):
+    """GET one JSON payload."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def post_json(url, payload, timeout=60):
+    """POST one JSON payload; return (status, body)."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestRoutes:
+    def test_solve_answers_the_result_payload(self, endpoint, serve_session):
+        status, body = post_json(endpoint.url + "/solve", {"app": "lcs", "dim": 48})
+        assert status == 200
+        reference = serve_session.solve("lcs", 48)
+        assert body["value"] == reference.value
+        assert body["checksum"] == reference.checksum
+        assert len(body["grid_sha256"]) == 64
+        assert body["app"] == "lcs" and body["dim"] == 48
+
+    def test_solve_accepts_plan_overrides(self, endpoint, serve_session):
+        status, body = post_json(
+            endpoint.url + "/solve",
+            {"app": "lcs", "dim": 48, "backend": "serial"},
+        )
+        assert status == 200
+        assert body["checksum"] == serve_session.solve("lcs", 48).checksum
+
+    def test_metrics_and_healthz(self, endpoint):
+        post_json(endpoint.url + "/solve", {"app": "lcs", "dim": 48})
+        metrics = get_json(endpoint.url + "/metrics")
+        assert metrics["requests"]["completed"] >= 1
+        assert "histogram" in metrics["batches"]
+        health = get_json(endpoint.url + "/healthz")
+        assert health["status"] == "ok" and health["uptime_s"] >= 0
+
+
+class TestErrorMapping:
+    def test_unknown_app_maps_to_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(endpoint.url + "/solve", {"app": "no-such-app", "dim": 8})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "UnknownApplicationError"
+
+    def test_body_without_app_maps_to_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(endpoint.url + "/solve", {"dim": 8})
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_maps_to_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(endpoint.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_non_framework_error_maps_to_500_not_dropped_connection(
+        self, endpoint
+    ):
+        # A bogus plan kwarg raises TypeError in the app constructor; the
+        # handler must still answer a JSON error body, never drop the socket.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                endpoint.url + "/solve",
+                {"app": "lcs", "dim": 48, "bogus_kwarg": 1},
+            )
+        assert excinfo.value.code == 500
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "TypeError"
+
+    def test_backpressure_maps_to_429(self, serve_session):
+        # A server that is not started never drains, so filling the queue
+        # through the back door makes the next HTTP request overflow.
+        server = ReproServer(serve_session, ServerConfig(queue_capacity=1))
+        ep = ServingEndpoint(server, port=0)
+        thread = threading.Thread(target=ep._httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            server.submit("lcs", 48)  # occupies the single queue slot
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_json(ep.url + "/solve", {"app": "lcs", "dim": 48})
+            assert excinfo.value.code == 429
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["type"] == "BackpressureError"
+        finally:
+            ep._httpd.shutdown()
+            thread.join(timeout=10)
+            server.start()
+            server.close()
+
+
+class TestShutdown:
+    def test_post_shutdown_stops_the_accept_loop(self, serve_session):
+        server = ReproServer(serve_session, ServerConfig(queue_capacity=8))
+        ep = ServingEndpoint(server, port=0)
+        thread = threading.Thread(target=ep.serve_forever, daemon=True)
+        thread.start()
+        request = urllib.request.Request(ep.url + "/shutdown", method="POST")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 202
+        thread.join(timeout=10)
+        assert not thread.is_alive() and ep.shutdown_requested
+        server.close()

@@ -1,0 +1,148 @@
+"""Tests for the load generator and the scripts/check_serve.py gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.exceptions import UsageError
+from repro.server import (
+    InProcessTarget,
+    LoadgenConfig,
+    ReproServer,
+    ServerConfig,
+    build_reference,
+    parse_mix,
+    run_loadgen,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+MIX = parse_mix("lcs:48,edit-distance:40")
+
+
+class TestParseMix:
+    def test_round_trip(self):
+        assert parse_mix("lcs:48, edit-distance:40") == (
+            ("lcs", 48),
+            ("edit-distance", 40),
+        )
+
+    def test_malformed_entries_raise_usage_error(self):
+        with pytest.raises(UsageError):
+            parse_mix("lcs")
+        with pytest.raises(UsageError):
+            parse_mix("lcs:abc")
+        with pytest.raises(UsageError):
+            parse_mix(",")
+
+
+class TestLoadgenConfig:
+    def test_validation(self):
+        with pytest.raises(UsageError):
+            LoadgenConfig(mix=MIX, requests=0)
+        with pytest.raises(UsageError):
+            LoadgenConfig(mix=MIX, clients=0)
+        with pytest.raises(UsageError):
+            LoadgenConfig(mix=MIX, rate_rps=0.0)
+
+
+@pytest.fixture(scope="module")
+def loadgen_artifact(serve_session):
+    """One closed-loop in-process run, verified, shared by the tests below."""
+    reference = build_reference(serve_session, MIX, "functional")
+    with ReproServer(serve_session, ServerConfig(queue_capacity=64)) as server:
+        payload = run_loadgen(
+            InProcessTarget(server),
+            LoadgenConfig(mix=MIX, requests=24, clients=4),
+            reference,
+        )
+    return payload
+
+
+class TestClosedLoop:
+    def test_all_requests_complete_and_verify(self, loadgen_artifact):
+        results = loadgen_artifact["results"]
+        assert results["completed"] == 24
+        assert results["failed"] == 0 and results["mismatches"] == 0
+        assert results["throughput_rps"] > 0
+        assert results["latency_ms"]["samples"] == 24
+
+    def test_artifact_is_json_safe_with_reference_timings(self, loadgen_artifact):
+        payload = json.loads(json.dumps(loadgen_artifact))
+        assert payload["meta"]["loop"] == "closed"
+        assert payload["reference"]["mean_solve_ms"] > 0
+        assert set(payload["reference"]["solve_ms"]) == {"lcs:48", "edit-distance:40"}
+        assert payload["server_metrics"]["requests"]["completed"] >= 24
+
+
+class TestOpenLoop:
+    def test_rate_paced_run_completes(self, serve_session):
+        with ReproServer(serve_session, ServerConfig(queue_capacity=64)) as server:
+            payload = run_loadgen(
+                InProcessTarget(server),
+                LoadgenConfig(mix=MIX, requests=8, clients=2, rate_rps=200.0),
+            )
+        assert payload["meta"]["loop"] == "open"
+        assert payload["results"]["completed"] == 8
+        assert payload["reference"] is None
+
+
+class TestCheckServeGate:
+    def run_gate(self, *argv):
+        """Run scripts/check_serve.py; return (exit code, stdout)."""
+        process = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_serve.py"), *argv],
+            capture_output=True,
+            text=True,
+        )
+        return process.returncode, process.stdout + process.stderr
+
+    def test_fresh_artifact_passes_against_itself(self, loadgen_artifact, tmp_path):
+        artifact = tmp_path / "fresh.json"
+        artifact.write_text(json.dumps(loadgen_artifact))
+        code, output = self.run_gate(
+            "--fresh", str(artifact), "--baseline", str(artifact),
+            "--min-completed", "20",
+        )
+        assert code == 0, output
+        assert "serve check OK" in output
+
+    def test_committed_baseline_is_well_formed(self, loadgen_artifact, tmp_path):
+        artifact = tmp_path / "fresh.json"
+        artifact.write_text(json.dumps(loadgen_artifact))
+        code, output = self.run_gate(
+            "--fresh", str(artifact),
+            "--baseline", str(REPO_ROOT / "benchmarks/results/serve_baseline.json"),
+            "--min-completed", "20", "--threshold", "25.0",
+        )
+        assert code == 0, output
+
+    def test_mismatches_fail_the_gate(self, loadgen_artifact, tmp_path):
+        broken = json.loads(json.dumps(loadgen_artifact))
+        broken["results"]["mismatches"] = 2
+        artifact = tmp_path / "broken.json"
+        artifact.write_text(json.dumps(broken))
+        code, output = self.run_gate(
+            "--fresh", str(artifact), "--baseline", str(artifact),
+            "--min-completed", "20",
+        )
+        assert code == 1 and "did not match" in output
+
+    def test_gross_latency_regression_fails_the_gate(
+        self, loadgen_artifact, tmp_path
+    ):
+        slow = json.loads(json.dumps(loadgen_artifact))
+        for key in ("p50", "p90", "p95", "p99", "mean", "max"):
+            slow["results"]["latency_ms"][key] *= 10
+        fresh = tmp_path / "slow.json"
+        fresh.write_text(json.dumps(slow))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(loadgen_artifact))
+        code, output = self.run_gate(
+            "--fresh", str(fresh), "--baseline", str(baseline),
+            "--min-completed", "20",
+        )
+        assert code == 1 and "overhead" in output

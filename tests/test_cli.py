@@ -322,3 +322,103 @@ class TestProfile:
         )
         assert code == EXIT_ARTIFACT
         assert "repro profile" in capsys.readouterr().err
+
+
+class TestServeVerb:
+    def test_serve_parses_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve" and args.port == 8077
+        assert args.queue_size == 64 and args.max_batch == 8
+        assert args.system == "local" and args.space == "tiny"
+
+    def test_serve_end_to_end_over_http(self, tmp_path):
+        """serve binds, answers solve/metrics, drains on POST /shutdown."""
+        import json as json_module
+        import threading
+        import time
+        import urllib.request
+
+        ready = tmp_path / "serve.addr"
+        metrics_out = tmp_path / "metrics.json"
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve",
+                        "--system", "i3-540",
+                        "--space", "tiny",
+                        "--port", "0",
+                        "--ready-file", str(ready),
+                        "--metrics-out", str(metrics_out),
+                    ]
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 60
+        while time.time() < deadline and not ready.exists():
+            time.sleep(0.05)
+        assert ready.exists(), "serve never wrote its ready file"
+        url = "http://" + ready.read_text().strip()
+
+        request = urllib.request.Request(
+            url + "/solve",
+            data=json_module.dumps({"app": "lcs", "dim": 48}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            body = json_module.loads(response.read())
+        assert body["value"] is not None and len(body["grid_sha256"]) == 64
+
+        shutdown = urllib.request.Request(url + "/shutdown", method="POST")
+        with urllib.request.urlopen(shutdown, timeout=10) as response:
+            assert response.status == 202
+        thread.join(timeout=60)
+        assert not thread.is_alive() and codes == [0]
+        metrics = json_module.loads(metrics_out.read_text())
+        assert metrics["requests"]["completed"] >= 1
+        assert metrics["requests"]["in_flight"] == 0
+
+
+class TestLoadgenVerb:
+    def test_loadgen_parses_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.command == "loadgen" and args.url is None
+        assert args.requests == 60 and args.clients == 4 and args.rate is None
+
+    def test_loadgen_in_process_writes_verified_artifact(self, capsys, tmp_path):
+        out = tmp_path / "loadgen.json"
+        code = main(
+            [
+                "loadgen",
+                "--system", "i3-540",
+                "--space", "tiny",
+                "--mix", "lcs:48,edit-distance:40",
+                "--requests", "12",
+                "--clients", "3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "0 mismatches" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["results"]["completed"] == 12
+        assert payload["results"]["mismatches"] == 0
+        assert payload["reference"]["mean_solve_ms"] > 0
+
+    def test_loadgen_bad_mix_is_usage_error(self, capsys):
+        code = main(["loadgen", "--mix", "lcs", "--system", "i3-540"])
+        assert code == EXIT_USAGE
+        assert "app:dim" in capsys.readouterr().err
+
+    def test_loadgen_simulate_mode_requires_no_verify(self, capsys):
+        # Simulate results carry no grids, so silent "verification" would be
+        # vacuous; the CLI demands the explicit opt-out instead.
+        code = main(
+            ["loadgen", "--mode", "simulate", "--system", "i3-540", "--space", "tiny"]
+        )
+        assert code == EXIT_USAGE
+        assert "--no-verify" in capsys.readouterr().err

@@ -215,6 +215,55 @@ class TestSolveManyServing:
             assert r.matches(reference)
 
 
+class TestThreadSafety:
+    def test_threads_hammering_one_session_match_sequential(self, i3_session):
+        """N threads sharing one session get grids bit-identical to
+        sequential solving — the serving layer's core assumption about
+        session thread-safety (plan lock + run lock + locked LRUs)."""
+        import threading
+
+        mix = [("lcs", SMALL_DIM), ("edit-distance", 20), ("matrix-chain", 16)]
+        sequential = {key: i3_session.solve(*key) for key in mix}
+        failures = []
+
+        def hammer(thread_id):
+            for i in range(5):
+                app, dim = mix[(thread_id + i) % len(mix)]
+                result = i3_session.solve(app, dim)
+                if not np.array_equal(
+                    result.grid.values, sequential[(app, dim)].grid.values
+                ):
+                    failures.append((app, dim))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+
+    def test_lazy_tuner_is_built_once_under_contention(self, i3, tiny_space):
+        """Concurrent first touches of the lazy tuner train exactly one."""
+        import threading
+
+        with Session(system=i3, tuner="learned", space=tiny_space) as session:
+            barrier = threading.Barrier(4)
+            tuners = []
+
+            def touch():
+                barrier.wait()
+                tuners.append(session.tuner)
+
+            threads = [threading.Thread(target=touch) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(t is tuners[0] for t in tuners)
+
+
 class TestBoundedCaches:
     def test_plan_and_problem_caches_respect_cache_size(self, i3, quick_tuner_i3):
         with Session(system=i3, tuner=quick_tuner_i3, cache_size=2) as session:

@@ -1,5 +1,7 @@
 """Tests for the shared bounded LRU cache."""
 
+import threading
+
 import pytest
 
 from repro.core.exceptions import InvalidParameterError
@@ -60,3 +62,53 @@ class TestLRUCache:
     def test_zero_maxsize_rejected(self):
         with pytest.raises(InvalidParameterError):
             LRUCache(0)
+
+
+class TestThreadSafety:
+    """The cache is shared by server worker threads; it must stay coherent."""
+
+    def test_concurrent_put_get_keeps_bound_and_accounting(self):
+        evicted = []
+        cache = LRUCache(8, on_evict=lambda k, v: evicted.append(k))
+        threads_n, per_thread = 8, 200
+
+        def worker(tid):
+            for i in range(per_thread):
+                key = (tid * per_thread + i) % 40
+                cache.put(key, (tid, i))
+                cache.get(key)
+                cache.get("missing")
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        info = cache.info()
+        assert len(cache) <= 8
+        assert info["misses"] >= threads_n * per_thread  # every 'missing' get
+        # Every entry that ever left the cache fired the hook exactly once:
+        # inserts == still-cached + hook firings (eviction or replacement).
+        assert threads_n * per_thread == len(cache) + len(evicted)
+
+    def test_get_or_create_builds_once_under_contention(self):
+        cache = LRUCache(4)
+        builds = []
+        barrier = threading.Barrier(8)
+
+        def build():
+            builds.append(1)
+            return "value"
+
+        def worker():
+            barrier.wait()
+            assert cache.get_or_create("key", build) == "value"
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
