@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Cache-efficacy gate for CI: deterministic trace replay must hit.
+
+Consumes two ``repro loadgen`` artifacts produced against one persistent
+``--cache-dir`` — a **cold** run (empty cache, every distinct signature is
+a miss) and a **warm** replay of the *same committed seeded trace* (every
+request should be answered from the cache) — and gates:
+
+1. **Correctness first** — both runs completed every request with zero
+   failures and zero digest mismatches (a cache serving wrong bytes must
+   never pass as a hit-rate win), and zero unverified completions.
+2. **Determinism** — both artifacts replayed the committed trace (same
+   seed/skew/request count), so the numbers gate like against like.
+3. **Efficacy** — the warm run's cache hit rate meets the committed
+   ``min_warm_hit_rate``, solves nothing fresh (``max_warm_misses``), and
+   its served p50 latency does not exceed the cold run's by more than
+   ``max_warm_cold_p50_ratio`` (generous: it exists to catch a cache that
+   stopped caching, not scheduling noise).
+
+Usage (CI)::
+
+    python -m repro loadgen --url $URL --trace benchmarks/traces/cache_smoke_trace.json \
+        --out /tmp/cache_cold.json              # cold: fresh --cache-dir
+    python -m repro loadgen --url $URL --trace benchmarks/traces/cache_smoke_trace.json \
+        --out /tmp/cache_warm.json              # warm: same --cache-dir
+    python scripts/check_cache.py --cold /tmp/cache_cold.json --warm /tmp/cache_warm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Trace-meta fields that must agree between an artifact and the baseline.
+TRACE_IDENTITY_KEYS = ("seed", "zipf_s", "requests", "mix")
+
+
+def load(path: Path) -> dict:
+    """Read one JSON artifact."""
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def correctness(name: str, artifact: dict) -> list[str]:
+    """Zero-tolerance correctness problems of one artifact (empty = OK)."""
+    problems = []
+    results = artifact.get("results")
+    if not isinstance(results, dict):
+        return [f"{name}: artifact has no 'results' section"]
+    expected = (artifact.get("meta") or {}).get("requests")
+    if results.get("completed") != expected:
+        problems.append(
+            f"{name}: only {results.get('completed')} of {expected} requests completed"
+        )
+    for key in ("failed", "mismatches", "skipped_verification"):
+        if results.get(key):
+            problems.append(f"{name}: {results[key]} {key.replace('_', ' ')}")
+    if not isinstance(artifact.get("cache"), dict):
+        problems.append(
+            f"{name}: artifact has no cache section (server started without "
+            "--cache-dir, or predates the cache schema)"
+        )
+    return problems
+
+
+def trace_identity(name: str, artifact: dict, trace_meta: dict) -> list[str]:
+    """Problems with the artifact's claim to have replayed the trace."""
+    replayed = (artifact.get("meta") or {}).get("trace")
+    if not isinstance(replayed, dict):
+        return [f"{name}: artifact was not produced from a trace replay"]
+    problems = []
+    for key in TRACE_IDENTITY_KEYS:
+        if replayed.get(key) != trace_meta.get(key):
+            problems.append(
+                f"{name}: trace {key} is {replayed.get(key)!r}, the committed "
+                f"trace has {trace_meta.get(key)!r}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Gate the cold/warm artifact pair; return the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cold", type=Path, required=True, help="cold-run loadgen JSON")
+    parser.add_argument("--warm", type=Path, required=True, help="warm-replay loadgen JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/results/cache_baseline.json"),
+        help="committed gate thresholds + trace identity",
+    )
+    args = parser.parse_args(argv)
+
+    cold = load(args.cold)
+    warm = load(args.warm)
+    baseline = load(args.baseline)
+    gates = baseline["gates"]
+    trace_path = Path(baseline["trace"]["path"])
+    trace_meta = load(trace_path)["meta"]
+
+    failures = correctness("cold", cold) + correctness("warm", warm)
+    failures += trace_identity("cold", cold, trace_meta)
+    failures += trace_identity("warm", warm, trace_meta)
+
+    if not failures:
+        warm_cache = warm["cache"]
+        cold_cache = cold["cache"]
+        print(
+            f"cold: {cold_cache['hit_rate']:.1%} hit rate, "
+            f"{cold_cache['misses']} misses over {cold_cache['lookups']} lookups"
+        )
+        print(
+            f"warm: {warm_cache['hit_rate']:.1%} hit rate, "
+            f"{warm_cache['misses']} misses over {warm_cache['lookups']} lookups "
+            f"(disk {warm_cache['disk_hits']}, memory {warm_cache['memory_hits']}, "
+            f"coalesced {warm_cache['coalesced']})"
+        )
+        if warm_cache["hit_rate"] < gates["min_warm_hit_rate"]:
+            failures.append(
+                f"warm hit rate {warm_cache['hit_rate']:.3f} below the "
+                f"committed floor {gates['min_warm_hit_rate']}"
+            )
+        if warm_cache["misses"] > gates["max_warm_misses"]:
+            failures.append(
+                f"warm replay solved {warm_cache['misses']} requests fresh "
+                f"(allowed: {gates['max_warm_misses']}) — the cache is leaking"
+            )
+        cold_p50 = cold["results"]["latency_ms"]["p50"]
+        warm_p50 = warm["results"]["latency_ms"]["p50"]
+        ratio = warm_p50 / cold_p50 if cold_p50 > 0 else float("inf")
+        print(
+            f"served p50: cold {cold_p50:.2f} ms, warm {warm_p50:.2f} ms "
+            f"({ratio:.2f}x cold, limit {gates['max_warm_cold_p50_ratio']}x)"
+        )
+        if ratio > gates["max_warm_cold_p50_ratio"]:
+            failures.append(
+                f"warm p50 is {ratio:.2f}x the cold p50 (limit "
+                f"{gates['max_warm_cold_p50_ratio']}x) — cached answers are "
+                "not cheaper than solving"
+            )
+
+    if failures:
+        print("\ncache check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"\ncache check OK: warm replay of {trace_meta['requests']} requests "
+        f"(seed {trace_meta['seed']}) served at "
+        f"{warm['cache']['hit_rate']:.1%} hit rate with 0 mismatches"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

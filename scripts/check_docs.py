@@ -13,7 +13,9 @@ Four guarantees, all enforced in CI and mirrored by
 3. every public class of the serving subsystem (``repro.server``) is
    mentioned in ``docs/serving.md`` — the serving architecture page stays
    complete;
-4. every public module, class, function and method under ``src/repro`` has
+4. every public class of the result-cache package (``repro.cache``) is
+   mentioned in ``docs/caching.md`` — the caching page stays complete;
+5. every public module, class, function and method under ``src/repro`` has
    a docstring (nested defs and ``_private`` names are exempt).
 
 Run from the repository root (CI does) or anywhere inside it:
@@ -34,12 +36,15 @@ SRC_ROOT = REPO_ROOT / "src" / "repro"
 ARCHITECTURE_DOC = REPO_ROOT / "docs" / "architecture.md"
 MEASURED_DOC = REPO_ROOT / "docs" / "measured-tuning.md"
 SERVING_DOC = REPO_ROOT / "docs" / "serving.md"
+CACHING_DOC = REPO_ROOT / "docs" / "caching.md"
 #: Packages whose public classes must appear in docs/architecture.md.
 PACKAGES = ("apps", "runtime")
 #: Module whose public classes must appear in docs/measured-tuning.md.
 MEASURED_MODULE = SRC_ROOT / "autotuner" / "measured.py"
 #: Package whose public classes must appear in docs/serving.md.
 SERVER_PACKAGE = "server"
+#: Package whose public classes must appear in docs/caching.md.
+CACHE_PACKAGE = "cache"
 
 
 def public_classes(package: str) -> dict[str, str]:
@@ -106,7 +111,7 @@ def docstring_gaps(root: Path) -> list[str]:
 
 
 def main() -> int:
-    """Run all three checks; print problems and return the exit code."""
+    """Run every check; print problems and return the exit code."""
     problems: list[str] = []
     total_classes = 0
     for package in PACKAGES:
@@ -119,6 +124,9 @@ def main() -> int:
     server = public_classes(SERVER_PACKAGE)
     total_classes += len(server)
     problems += check_classes_mentioned(SERVING_DOC, server)
+    cache = public_classes(CACHE_PACKAGE)
+    total_classes += len(cache)
+    problems += check_classes_mentioned(CACHING_DOC, cache)
     gaps = docstring_gaps(SRC_ROOT)
     problems += gaps
 

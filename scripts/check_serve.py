@@ -40,6 +40,7 @@ REQUIRED_RESULT_KEYS = (
     "rejected",
     "failed",
     "mismatches",
+    "skipped_verification",
     "wall_s",
     "throughput_rps",
     "latency_ms",
@@ -103,6 +104,13 @@ def well_formed(artifact: dict, min_completed: int) -> list[str]:
     if results.get("mismatches"):
         problems.append(
             f"{results['mismatches']} answers did not match in-process solving"
+        )
+    if results.get("skipped_verification"):
+        # The serving gate's whole point is bit-exactness; a completed
+        # request nobody verified must fail loudly, not pass vacuously.
+        problems.append(
+            f"{results['skipped_verification']} completed requests were "
+            "never verified (simulate mode or --no-verify?)"
         )
     return problems
 

@@ -1,0 +1,183 @@
+"""The tiered result cache: memory LRU → disk store → solve.
+
+:class:`ResultCache` is what the session consults on every cacheable
+:meth:`repro.session.Session.solve`:
+
+1. **memory** — a bounded :class:`repro.utils.lru.LRUCache` of live
+   :class:`~repro.runtime.result.ExecutionResult` objects (shared,
+   read-only — the same contract the serving layer's coalesced batches
+   already impose);
+2. **disk** — the persistent :class:`~repro.cache.store.DiskCacheStore`,
+   surviving restarts and shared across processes pointing at one
+   ``cache_dir``; disk hits are promoted into the memory tier;
+3. **solve** — the caller's closure, executed exactly once per in-flight
+   digest (*stampede protection*): concurrent misses on one key elect a
+   leader, every follower blocks on the leader's outcome instead of
+   re-solving, and a failing solve propagates its error to the whole group.
+
+Counters distinguish the tiers (``memory_hits`` / ``disk_hits`` /
+``coalesced`` / ``misses``) so the ``/metrics`` page can show *where*
+answers come from, and ``hit_rate`` condenses them into the number the CI
+cache gate replays a committed trace against.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.cache.keys import CacheKey
+from repro.cache.store import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    DiskCacheStore,
+)
+from repro.runtime.result import ExecutionResult
+from repro.utils.lru import LRUCache
+
+#: Default bound of the in-memory result tier (entries, not bytes).
+DEFAULT_MEMORY_ENTRIES = 64
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISS = object()
+
+
+class _InFlight:
+    """The rendezvous of one in-progress solve (leader + followers)."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: ExecutionResult | None = None
+        self.error: BaseException | None = None
+
+
+class ResultCache:
+    """Content-addressed result cache layered memory → disk → solve.
+
+    ``directory`` roots the persistent tier (created when missing);
+    ``max_entries`` / ``max_bytes`` bound it, ``memory_entries`` bounds the
+    in-process tier.  All methods are thread-safe; opening a directory with
+    an incompatible format version raises
+    :class:`repro.core.exceptions.CacheError` at construction.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        self.store = DiskCacheStore(directory, max_entries, max_bytes)
+        self._memory: LRUCache = LRUCache(memory_entries)
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _InFlight] = {}
+        self.lookups = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.coalesced = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get_or_solve(
+        self, key: CacheKey, solve: Callable[[], ExecutionResult]
+    ) -> ExecutionResult:
+        """Answer one request from the nearest tier, solving at most once.
+
+        Memory hits return immediately; disk hits are decoded and promoted;
+        a miss runs ``solve()`` under this key's in-flight slot, so
+        concurrent misses on the same digest wait for the one leader
+        instead of duplicating the computation (the leader's exception, if
+        any, is re-raised in every waiter).
+        """
+        digest = key.digest
+        while True:
+            with self._lock:
+                self.lookups += 1
+                cached = self._memory.get(digest, _MISS)
+                if cached is not _MISS:
+                    self.memory_hits += 1
+                    return cached
+                flight = self._inflight.get(digest)
+                if flight is None:
+                    flight = self._inflight[digest] = _InFlight()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.done.wait()
+                with self._lock:
+                    if flight.error is None:
+                        self.coalesced += 1
+                if flight.error is not None:
+                    raise flight.error
+                if flight.result is not None:
+                    return flight.result
+                # The leader's entry was already retired without a result
+                # (shouldn't happen, but looping is always correct).
+                continue
+            try:
+                result = self._load_or_solve(digest, key, solve)
+            except BaseException as error:
+                flight.error = error
+                raise
+            else:
+                flight.result = result
+                return result
+            finally:
+                with self._lock:
+                    self._inflight.pop(digest, None)
+                flight.done.set()
+
+    def _load_or_solve(
+        self, digest: str, key: CacheKey, solve: Callable[[], ExecutionResult]
+    ) -> ExecutionResult:
+        """The leader's path: disk lookup, then the real computation."""
+        from_disk = self.store.get(digest)
+        if from_disk is not None:
+            with self._lock:
+                self.disk_hits += 1
+                self._memory.put(digest, from_disk)
+            return from_disk
+        result = solve()
+        with self._lock:
+            self.misses += 1
+        if result.grid is not None:
+            # Grid-less (simulate-mode) answers are never persisted: they
+            # carry no bit-exact payload worth addressing by content.
+            self.store.put(digest, result, request=key.payload)
+            with self._lock:
+                self._memory.put(digest, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (the disk tier is untouched)."""
+        self._memory.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered without a fresh solve."""
+        with self._lock:
+            served = self.memory_hits + self.disk_hits + self.coalesced
+            return served / self.lookups if self.lookups else 0.0
+
+    def info(self) -> dict:
+        """JSON-safe counters of every tier (the ``/metrics`` cache section)."""
+        with self._lock:
+            served = self.memory_hits + self.disk_hits + self.coalesced
+            out = {
+                "lookups": self.lookups,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "coalesced": self.coalesced,
+                "misses": self.misses,
+                "hit_rate": served / self.lookups if self.lookups else 0.0,
+                "memory": self._memory.info(),
+            }
+        out["disk"] = self.store.info()
+        return out

@@ -167,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--backend", default=None, help="pin an executor strategy (bypasses the tuner)")
     run.add_argument("--workers", type=int, default=None, help="worker processes for multicore backends")
+    run.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result cache directory (identical requests are "
+        "served content-addressed instead of re-solved)",
+    )
     run.add_argument("--plan-out", type=Path, default=None, help="save the resolved plan as JSON")
     run.add_argument("--replay", type=Path, default=None, help="execute a previously saved plan")
     run.add_argument(
@@ -370,6 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an HTTP handler waits for its result (default: 120)",
     )
     serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result cache directory; repeated functional "
+        "requests are answered memory -> disk -> solve and /metrics gains "
+        "a cache section",
+    )
+    serve.add_argument(
         "--metrics-out",
         type=Path,
         default=None,
@@ -436,7 +451,50 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--no-verify",
         action="store_true",
-        help="skip the bit-exact verification against in-process solving",
+        help="skip the bit-exact verification against in-process solving "
+        "(completed requests are then counted as skipped_verification)",
+    )
+    loadgen.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result cache directory of the in-process server "
+        "(the verification reference always solves uncached)",
+    )
+    loadgen.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="replay a recorded request trace bit-exactly (overrides "
+        "--mix/--requests/--rate ordering)",
+    )
+    loadgen.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="record the generated request trace as versioned JSON for "
+        "later --trace replay",
+    )
+    loadgen.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="generate a seeded Zipf-skewed trace instead of cycling --mix "
+        "round-robin (implied by --trace-out)",
+    )
+    loadgen.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="Zipf skew exponent of the generated trace's popularity "
+        "distribution; 0 = uniform (default: 1.1)",
+    )
+    loadgen.add_argument(
+        "--burst",
+        type=float,
+        default=1.0,
+        help="burstiness of generated open-loop arrivals: 1 = Poisson, "
+        "larger = clumpier at the same mean --rate (default: 1)",
     )
     loadgen.add_argument(
         "--out",
@@ -507,6 +565,7 @@ def _session_for(args: argparse.Namespace, tuner: str | None = None) -> Session:
         space=_space(args.space) if hasattr(args, "space") else None,
         model_path=getattr(args, "load_model", None),
         profile_path=getattr(args, "profile_file", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -894,6 +953,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tuner=args.tuner,
         space=_space(args.space),
         mode=args.mode,
+        cache_dir=args.cache_dir,
     )
     server = None
     try:
@@ -973,8 +1033,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         ReproServer,
         ServerConfig,
         build_reference,
+        generate_trace,
+        load_trace,
         parse_mix,
         run_loadgen,
+        save_trace,
     )
 
     if args.mode != "functional" and not args.no_verify:
@@ -982,21 +1045,47 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             "--mode simulate produces no grids to verify; pass --no-verify "
             "to load-generate without the bit-exact check"
         )
+    if args.trace is not None and args.trace_out is not None:
+        raise UsageError("--trace (replay) and --trace-out (record) are exclusive")
     mix = parse_mix(args.mix)
+    trace = None
+    if args.trace is not None:
+        trace = load_trace(args.trace)  # CacheError -> exit 3
+        print(f"replaying {trace.describe()}  [{args.trace}]")
+        mix = trace.distinct_mix()
+    elif args.trace_out is not None or args.seed is not None:
+        seed = args.seed if args.seed is not None else 0
+        trace = generate_trace(
+            mix,
+            args.requests,
+            seed,
+            zipf_s=args.zipf,
+            rate_rps=args.rate,
+            burst=args.burst,
+        )
+        print(f"generated {trace.describe()}")
+        if args.trace_out is not None:
+            save_trace(trace, args.trace_out)
+            print(f"wrote trace to {args.trace_out}")
     config = LoadgenConfig(
         mix=mix,
-        requests=args.requests,
+        requests=len(trace) if trace is not None else args.requests,
         clients=args.clients,
         rate_rps=args.rate,
         mode=args.mode,
         timeout_s=args.timeout,
     )
 
-    def make_session() -> Session:
-        """One session with the serving configuration of this invocation."""
+    def make_session(cache_dir=None) -> Session:
+        """One session with the serving configuration of this invocation.
+
+        ``cache_dir`` is only ever passed for the in-process *server*
+        session — the verification reference must solve uncached, so a
+        cache bug can never vouch for itself.
+        """
         return Session(
             system=args.system, tuner=args.tuner, space=_space(args.space),
-            mode=args.mode,
+            mode=args.mode, cache_dir=cache_dir,
         )
 
     own_server: ReproServer | None = None
@@ -1004,7 +1093,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         target: HTTPTarget | InProcessTarget = HTTPTarget(args.url)
     else:
         own_server = ReproServer(
-            make_session(),
+            make_session(cache_dir=args.cache_dir),
             ServerConfig(queue_capacity=args.queue_size, max_batch=args.max_batch),
             own_session=True,
         ).start()
@@ -1012,7 +1101,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     print(
         f"loadgen -> {target.describe()}  "
         f"({'open loop @ %g req/s' % args.rate if args.rate else 'closed loop'}, "
-        f"{args.requests} requests, {args.clients} clients, mix {args.mix})"
+        f"{config.requests} requests, {args.clients} clients, "
+        f"{'trace' if trace is not None else 'mix ' + args.mix})"
     )
     try:
         reference = None
@@ -1023,7 +1113,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 f"reference: {len(reference.expected)} distinct instances, "
                 f"mean direct solve {reference.mean_solve_ms:.2f} ms"
             )
-        payload = run_loadgen(target, config, reference, progress=print)
+        payload = run_loadgen(target, config, reference, progress=print, trace=trace)
     finally:
         if own_server is not None:
             own_server.close()
@@ -1035,6 +1125,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote loadgen artifact to {out}")
 
+    cache = payload.get("cache")
+    if cache is not None:
+        print(
+            f"cache: {cache['hit_rate']:.1%} hit rate over {cache['lookups']} "
+            f"lookups (memory {cache['memory_hits']}, disk {cache['disk_hits']}, "
+            f"coalesced {cache['coalesced']}, misses {cache['misses']})"
+        )
     results = payload["results"]
     if results["completed"] == 0:
         print("ERROR: no request completed")

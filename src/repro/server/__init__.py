@@ -23,7 +23,11 @@ Layering, bottom up:
   ``POST /shutdown``);
 * :mod:`repro.server.loadgen` — :class:`LoadgenConfig`, targets and
   :func:`run_loadgen`, writing the artifact ``scripts/check_serve.py``
-  gates.
+  gates;
+* :mod:`repro.server.trace` — :class:`RequestTrace` and the seeded
+  Zipf/bursty workload generator behind ``loadgen --trace/--trace-out``,
+  the record/replay substrate of the cache-efficacy gate
+  (``scripts/check_cache.py``).
 
 Typical embedding::
 
@@ -45,6 +49,7 @@ from repro.server.loadgen import (
     LoadgenConfig,
     ReferenceAnswers,
     build_reference,
+    build_schedule,
     parse_mix,
     run_loadgen,
 )
@@ -52,6 +57,14 @@ from repro.server.http import ServingEndpoint, grid_digest, result_payload
 from repro.server.metrics import ServerMetrics, summarise_latencies
 from repro.server.queue import RequestQueue, ServeRequest, request_signature
 from repro.server.service import ReproServer, ServerConfig
+from repro.server.trace import (
+    TRACE_FORMAT_VERSION,
+    RequestTrace,
+    generate_trace,
+    load_trace,
+    save_trace,
+    zipf_weights,
+)
 
 __all__ = [
     "ReproServer",
@@ -66,8 +79,15 @@ __all__ = [
     "ReferenceAnswers",
     "DEFAULT_MIX",
     "build_reference",
+    "build_schedule",
     "parse_mix",
     "run_loadgen",
+    "RequestTrace",
+    "TRACE_FORMAT_VERSION",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+    "zipf_weights",
     "request_signature",
     "result_payload",
     "grid_digest",

@@ -40,7 +40,10 @@ from repro.session import Session
 from repro.server.metrics import summarise_latencies
 
 #: Schema marker of the loadgen artifact (bumped on layout changes).
-LOADGEN_FORMAT_VERSION = 1
+#: v2: ``results.skipped_verification`` (completed-but-unverified requests
+#: are now counted, never silent), a ``cache`` section (per-run delta of the
+#: server's persistent result-cache counters) and ``meta.trace``.
+LOADGEN_FORMAT_VERSION = 2
 
 #: Default request mix: three small DP apps, distinct signatures.
 DEFAULT_MIX = "lcs:48,edit-distance:40,matrix-chain:32"
@@ -254,52 +257,119 @@ def build_reference(
     return reference
 
 
-def _verify(answer: dict, expected: dict) -> bool:
-    """True when one served answer matches the reference bit-exactly.
+def _verify(answer: dict, expected: dict) -> bool | None:
+    """Tri-state verdict of one served answer against the reference.
 
-    Grid-less results (simulate mode) can never verify: a missing digest is
-    a mismatch, not a vacuous pass — callers wanting unverified simulate
-    runs must opt out of verification explicitly.
+    ``True``/``False`` — the grids (or their digests) were compared and
+    matched / did not match.  ``None`` — *nothing was comparable*: both
+    sides are grid-less (simulate mode), so the request completed without
+    any verification.  Callers must count ``None`` as
+    ``skipped_verification``, never fold it into either pass or mismatch —
+    an answer missing a grid the reference *does* have stays a mismatch.
     """
     if answer.get("_grid") is not None and expected.get("_grid") is not None:
         return bool(
             np.array_equal(answer["_grid"].values, expected["_grid"].values)
         )
-    if answer.get("grid_sha256") is None or expected.get("grid_sha256") is None:
+    answer_digest = answer.get("grid_sha256")
+    expected_digest = expected.get("grid_sha256")
+    if answer_digest is None and expected_digest is None:
+        return None
+    if answer_digest is None or expected_digest is None:
         return False
-    return answer.get("grid_sha256") == expected.get("grid_sha256") and answer.get(
+    return answer_digest == expected_digest and answer.get("checksum") == expected.get(
         "checksum"
-    ) == expected.get("checksum")
+    )
+
+
+def _cache_delta(before: dict | None, after: dict | None) -> dict | None:
+    """This run's share of the server's result-cache counters.
+
+    The server's cache counters are cumulative since start-up; subtracting
+    the pre-run snapshot isolates what *this* workload did, so a warm
+    replay reports its own hit rate, not the lifetime average.  ``None``
+    when the target exposes no cache section (cache off or old server).
+    """
+    if not isinstance(after, dict):
+        return None
+    before = before if isinstance(before, dict) else {}
+    delta = {
+        key: int(after.get(key, 0)) - int(before.get(key, 0))
+        for key in ("lookups", "memory_hits", "disk_hits", "coalesced", "misses")
+    }
+    served = delta["memory_hits"] + delta["disk_hits"] + delta["coalesced"]
+    delta["hit_rate"] = served / delta["lookups"] if delta["lookups"] else 0.0
+    return delta
 
 
 # ----------------------------------------------------------------------
 # The run loop
 # ----------------------------------------------------------------------
+def build_schedule(
+    config: LoadgenConfig, trace=None
+) -> list[tuple[str, int, float | None]]:
+    """The issue plan of one run: ``(app, dim, arrival offset)`` per request.
+
+    With a :class:`repro.server.trace.RequestTrace` the trace *is* the
+    schedule (bit-exact replay); otherwise the config's round-robin mix is
+    unrolled, with evenly spaced offsets when ``rate_rps`` sets an open
+    loop.
+    """
+    if trace is not None:
+        return trace.schedule()
+    return [
+        (
+            config.mix[index % len(config.mix)][0],
+            config.mix[index % len(config.mix)][1],
+            index / config.rate_rps if config.rate_rps is not None else None,
+        )
+        for index in range(config.requests)
+    ]
+
+
 def run_loadgen(
     target: HTTPTarget | InProcessTarget,
     config: LoadgenConfig,
     reference: ReferenceAnswers | None = None,
     progress=None,
+    trace=None,
 ) -> dict:
     """Drive ``target`` with the configured workload; return the artifact.
 
     ``reference`` enables per-request bit-exact verification (mismatches are
     counted, never raised — the artifact reports them and the CLI turns
-    them into a non-zero exit).  ``progress`` is an optional one-line
+    them into a non-zero exit); every completed request *not* verified (no
+    reference, or nothing comparable in simulate mode) is counted in
+    ``skipped_verification`` instead of passing silently.  ``trace``
+    replays a recorded :class:`~repro.server.trace.RequestTrace` instead of
+    the config's round-robin mix.  ``progress`` is an optional one-line
     callback.
     """
-    schedule_start = time.perf_counter()
-    counter = iter(range(config.requests))
+    schedule = build_schedule(config, trace)
+    total = len(schedule)
+    counter = iter(range(total))
     counter_lock = threading.Lock()
     stats_lock = threading.Lock()
     latencies: list[float] = []
-    outcomes = {"completed": 0, "rejected": 0, "failed": 0, "mismatches": 0}
+    outcomes = {
+        "completed": 0,
+        "rejected": 0,
+        "failed": 0,
+        "mismatches": 0,
+        "skipped_verification": 0,
+    }
     errors: list[str] = []
+    try:
+        cache_before = target.metrics().get("cache")
+    except Exception:  # noqa: BLE001 - the pre-run snapshot is best-effort
+        cache_before = None
 
     def next_index() -> int | None:
         """Claim the next global request index (None when exhausted)."""
         with counter_lock:
             return next(counter, None)
+
+    schedule_start = time.perf_counter()
 
     def client_loop() -> None:
         """One client thread: claim, pace (open loop), fire, verify."""
@@ -307,12 +377,11 @@ def run_loadgen(
             index = next_index()
             if index is None:
                 return
-            if config.rate_rps is not None:
-                planned = schedule_start + index / config.rate_rps
-                delay = planned - time.perf_counter()
+            app, dim, offset_s = schedule[index]
+            if offset_s is not None:
+                delay = schedule_start + offset_s - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
-            app, dim = config.mix[index % len(config.mix)]
             t0 = time.perf_counter()
             try:
                 answer = target.solve(app, dim, config.mode, config.timeout_s)
@@ -333,15 +402,20 @@ def run_loadgen(
             with stats_lock:
                 latencies.append(latency)
                 outcomes["completed"] += 1
-                if reference is not None:
-                    expected = reference.expected.get((app, dim))
-                    if expected is None or not _verify(answer, expected):
-                        outcomes["mismatches"] += 1
-                        if len(errors) < 10:
-                            errors.append(
-                                f"{app}:{dim} answer does not match the "
-                                "in-process reference"
-                            )
+                if reference is None:
+                    outcomes["skipped_verification"] += 1
+                    continue
+                expected = reference.expected.get((app, dim))
+                verdict = _verify(answer, expected) if expected is not None else False
+                if verdict is None:
+                    outcomes["skipped_verification"] += 1
+                elif not verdict:
+                    outcomes["mismatches"] += 1
+                    if len(errors) < 10:
+                        errors.append(
+                            f"{app}:{dim} answer does not match the "
+                            "in-process reference"
+                        )
 
     threads = [
         threading.Thread(target=client_loop, name=f"loadgen-client-{i}")
@@ -356,10 +430,11 @@ def run_loadgen(
 
     if progress is not None:
         progress(
-            f"loadgen: {outcomes['completed']}/{config.requests} completed in "
+            f"loadgen: {outcomes['completed']}/{total} completed in "
             f"{wall_s:.2f}s ({outcomes['completed'] / wall_s:.1f} req/s), "
             f"{outcomes['rejected']} rejected, {outcomes['failed']} failed, "
-            f"{outcomes['mismatches']} mismatches"
+            f"{outcomes['mismatches']} mismatches, "
+            f"{outcomes['skipped_verification']} unverified"
         )
 
     try:
@@ -367,17 +442,21 @@ def run_loadgen(
     except Exception as error:  # noqa: BLE001 - metrics are best-effort here
         server_metrics = {"error": str(error)}
 
+    open_loop = trace is not None and any(
+        offset is not None for _, _, offset in schedule
+    ) or (trace is None and config.rate_rps is not None)
     return {
         "format_version": LOADGEN_FORMAT_VERSION,
         "meta": {
             "target": target.describe(),
             "target_kind": target.kind,
             "mix": [f"{app}:{dim}" for app, dim in config.mix],
-            "requests": config.requests,
+            "requests": total,
             "clients": config.clients,
             "rate_rps": config.rate_rps,
             "mode": config.mode,
-            "loop": "open" if config.rate_rps is not None else "closed",
+            "loop": "open" if open_loop else "closed",
+            "trace": dict(trace.meta) if trace is not None else None,
             "python": sys.version.split()[0],
         },
         "results": {
@@ -387,6 +466,10 @@ def run_loadgen(
             "latency_ms": summarise_latencies(latencies),
             "errors": errors,
         },
+        "cache": _cache_delta(
+            cache_before,
+            server_metrics.get("cache") if isinstance(server_metrics, dict) else None,
+        ),
         "reference": (
             {
                 "solve_ms": dict(reference.solve_ms),

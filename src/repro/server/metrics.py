@@ -150,12 +150,17 @@ class ServerMetrics:
         queue_capacity: int | None = None,
         queue_high_water: int | None = None,
         caches: dict | None = None,
+        cache: dict | None = None,
     ) -> dict:
         """JSON-safe view of everything collected so far.
 
         ``queue_*`` are sampled by the caller (the queue owns its own lock)
         and ``caches`` is the session's ``cache_info()`` — both optional so
-        the metrics object stays reusable outside a full server.
+        the metrics object stays reusable outside a full server.  ``cache``
+        is the persistent result cache's tier counters
+        (:meth:`repro.cache.ResultCache.info`); it is always present in the
+        snapshot — ``None`` when no ``--cache-dir`` is configured — so
+        artifact consumers can distinguish "cache off" from "old schema".
         """
         with self._lock:
             uptime = self.uptime_s
@@ -188,6 +193,7 @@ class ServerMetrics:
                 "latency_ms": summarise_latencies(list(self._latencies_s)),
                 "throughput_rps": (self.completed / uptime) if uptime > 0 else 0.0,
             }
+        snapshot["cache"] = cache
         if caches is not None:
             snapshot["caches"] = caches
         return snapshot

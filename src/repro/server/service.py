@@ -257,6 +257,11 @@ class ReproServer:
             queue_capacity=self._queue.capacity,
             queue_high_water=self._queue.high_water,
             caches=self.session.cache_info(),
+            cache=(
+                self.session.result_cache.info()
+                if self.session.result_cache is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -27,6 +27,11 @@ Design points:
 * **Bounded state** — every cache is an LRU with a size configured by
   ``cache_size``, so a session serving millions of requests holds a
   constant amount of memory and worker processes.
+* **Persistent results** — with ``cache_dir`` set, functional
+  :meth:`Session.solve`/:meth:`Session.solve_many` answers are served from
+  a content-addressed :class:`repro.cache.ResultCache` (memory LRU → disk
+  → solve): identical requests across time, threads and processes cost one
+  grid sweep, and concurrent misses on one key are stampede-protected.
 
 The CLI's workflow verbs (``run``, ``tune``, ``bench``, ``profile``,
 ``report``, ``serve``, ``loadgen``) are thin adapters over this class (the
@@ -44,7 +49,8 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.apps.base import WavefrontApplication
 from repro.apps.registry import resolve_application
 from repro.autotuner.protocol import PlanDecision, Tuner
-from repro.core.exceptions import UsageError
+from repro.cache import ResultCache, request_key
+from repro.core.exceptions import CacheError, UsageError
 from repro.core.params import TunableParams
 from repro.core.parameter_space import ParameterSpace
 from repro.core.pattern import WavefrontProblem
@@ -76,8 +82,14 @@ class Session:
     computes, ``"simulate"`` evaluates the cost model only);
     ``cache_size`` bounds the tuned-plan and problem/engine caches;
     ``workers`` — when set — overrides every plan's worker count (useful to
-    force or forbid multiprocessing).  Close the session (or use it as a
-    context manager) to shut down its worker pools deterministically.
+    force or forbid multiprocessing).  ``cache_dir`` — when set — roots a
+    persistent content-addressed result cache consulted by :meth:`solve` /
+    :meth:`solve_many` for functional registry-name requests (pass a ready
+    :class:`repro.cache.ResultCache` as ``result_cache`` to control its
+    bounds); a directory written under an incompatible cache format raises
+    :class:`repro.core.exceptions.CacheError` here, at construction.  Close
+    the session (or use it as a context manager) to shut down its worker
+    pools deterministically.
 
     **Thread safety.**  One session may be shared by many threads (the
     serving layer, :class:`repro.server.ReproServer`, does exactly that):
@@ -103,6 +115,8 @@ class Session:
         model_path=None,
         profile_path=None,
         max_pools: int | None = None,
+        cache_dir=None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         self.system = (
             system if isinstance(system, SystemSpec) else resolve_system(system)
@@ -125,6 +139,10 @@ class Session:
         if max_pools is not None:
             host_kwargs["max_pools"] = max_pools
         self.host = EngineHost(self.system, constants, **host_kwargs)
+        #: Content-addressed persistent result tier (None = disabled).
+        self.result_cache: ResultCache | None = result_cache
+        if self.result_cache is None and cache_dir is not None:
+            self.result_cache = ResultCache(cache_dir)
         self._plans: LRUCache = LRUCache(self.cache_size)
         self._problems: LRUCache = LRUCache(self.cache_size)
         # Reentrant so plan() may build the tuner (and close() may drain
@@ -354,8 +372,57 @@ class Session:
         mode: ExecutionMode | str | None = None,
         **plan_kwargs,
     ) -> ExecutionResult:
-        """Plan and execute in one call (the "just solve it" entry point)."""
-        return self.run(self.plan(app, dim, **plan_kwargs), mode=mode)
+        """Plan and execute in one call (the "just solve it" entry point).
+
+        With a persistent result cache configured (``cache_dir=`` /
+        ``result_cache=``), functional registry-name requests are answered
+        content-addressed: the resolved plan's request key is looked up
+        memory → disk before any grid is swept, and concurrent misses on
+        one key run exactly one solve.  Simulate-mode requests, instance /
+        problem requests and requests whose arguments the key codec cannot
+        canonicalise bypass the cache and execute directly.
+        """
+        plan = self.plan(app, dim, **plan_kwargs)
+        key = self._request_key_for(app, plan, mode, plan_kwargs)
+        if key is None:
+            return self.run(plan, mode=mode)
+        return self.result_cache.get_or_solve(key, lambda: self.run(plan, mode=mode))
+
+    def _request_key_for(self, app, plan: ResolvedPlan, mode, plan_kwargs):
+        """The cache key of one solve request, or ``None`` when uncacheable.
+
+        Only functional registry-name requests are cached: instance and
+        problem requests carry caller-owned state the codec cannot see, and
+        simulate-mode answers have no bit-exact payload worth addressing.
+        Plan-relevant overrides (``backend``/``engine``/``workers``/
+        ``tunables``) enter the key; un-canonicalisable values make the
+        request silently uncacheable rather than unsolvable.
+        """
+        if self.result_cache is None or not isinstance(app, str):
+            return None
+        resolved_mode = ExecutionMode.coerce(mode) if mode is not None else self.mode
+        if resolved_mode is not ExecutionMode.FUNCTIONAL:
+            return None
+        overrides = {
+            name: plan_kwargs[name]
+            for name in ("backend", "engine", "workers", "tunables")
+            if plan_kwargs.get(name) is not None
+        }
+        if self.workers is not None:
+            # The session-wide override changes the executed plan, so it
+            # must change the key too.
+            overrides["workers"] = self.workers
+        try:
+            return request_key(
+                plan.app,
+                plan.dim,
+                params=plan.params,
+                app_kwargs=plan.app_kwargs,
+                overrides=overrides,
+                mode=resolved_mode.value,
+            )
+        except CacheError:
+            return None
 
     def solve_many(
         self,
@@ -455,12 +522,15 @@ class Session:
 
     def cache_info(self) -> dict:
         """Counters of every bounded cache plus the request statistics."""
-        return {
+        info = {
             "plans": self._plans.info(),
             "problems": self._problems.info(),
             "requests": dict(self.stats),
             **self.host.cache_info(),
         }
+        if self.result_cache is not None:
+            info["results"] = self.result_cache.info()
+        return info
 
     def close(self) -> None:
         """Release worker pools, engines and caches; the session stays closed.

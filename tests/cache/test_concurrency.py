@@ -1,0 +1,209 @@
+"""Concurrency battery of the tiered result cache.
+
+N threads hammer one shared cached :class:`~repro.session.Session` with a
+Zipf-skewed request mix over a small keyspace and the battery asserts the
+properties the cache claims under load: answers bit-identical to sequential
+uncached solving, exactly one real solve per unique key (stampede
+protection), eviction under load never serving a stale or torn grid, and
+injected corruption surfacing as counted misses followed by self-repair.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import DiskCacheStore, ResultCache, request_key
+from repro.core.exceptions import CacheError
+from repro.session import Session
+
+#: The small keyspace every battery test draws from (distinct signatures).
+KEYSPACE = (("lcs", 20), ("lcs", 24), ("edit-distance", 20), ("matrix-chain", 18))
+
+
+def zipf_requests(count, seed=3, s=1.2):
+    """A seeded Zipf-skewed request stream over :data:`KEYSPACE`."""
+    rng = np.random.RandomState(seed)
+    ranks = np.arange(1, len(KEYSPACE) + 1, dtype=float)
+    weights = ranks**-s
+    picks = rng.choice(len(KEYSPACE), size=count, p=weights / weights.sum())
+    return [KEYSPACE[i] for i in picks]
+
+
+def hammer(threads, worker):
+    """Run ``worker`` on ``threads`` threads; re-raise the first error."""
+    errors = []
+
+    def guarded():
+        try:
+            worker()
+        except BaseException as error:  # noqa: BLE001 - surfaced to pytest
+            errors.append(error)
+
+    pool = [threading.Thread(target=guarded) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+@pytest.fixture(scope="module")
+def expected_grids():
+    """Sequential, uncached reference answers for the whole keyspace."""
+    with Session(system="i7-2600K") as session:
+        return {
+            (app, dim): session.solve(app, dim, backend="serial").grid.values.copy()
+            for app, dim in KEYSPACE
+        }
+
+
+class TestSharedSessionBattery:
+    def test_concurrent_zipf_stream_matches_sequential(self, tmp_path, expected_grids):
+        requests = zipf_requests(64)
+        stream = iter(requests)
+        stream_lock = threading.Lock()
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+
+            def worker():
+                while True:
+                    with stream_lock:
+                        item = next(stream, None)
+                    if item is None:
+                        return
+                    app, dim = item
+                    result = session.solve(app, dim, backend="serial")
+                    assert np.array_equal(
+                        result.grid.values, expected_grids[(app, dim)]
+                    ), f"{app}:{dim} diverged from sequential solving"
+
+            hammer(8, worker)
+            # Exactly-once: every unique key cost one real execution, no
+            # matter how the 64 requests raced across 8 threads.
+            assert session.stats["runs"] == len(KEYSPACE)
+            info = session.cache_info()["results"]
+            assert info["lookups"] == len(requests)
+            assert info["misses"] == len(KEYSPACE)
+            assert (
+                info["memory_hits"] + info["coalesced"]
+                == len(requests) - len(KEYSPACE)
+            )
+
+    def test_warm_restart_serves_from_disk_without_solving(
+        self, tmp_path, expected_grids
+    ):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as warmup:
+            for app, dim in KEYSPACE:
+                warmup.solve(app, dim, backend="serial")
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+
+            def worker():
+                for app, dim in zipf_requests(16, seed=11):
+                    result = session.solve(app, dim, backend="serial")
+                    assert np.array_equal(
+                        result.grid.values, expected_grids[(app, dim)]
+                    )
+
+            hammer(6, worker)
+            assert session.stats["runs"] == 0, "warm restart must not re-solve"
+            assert session.cache_info()["results"]["disk_hits"] == len(KEYSPACE)
+
+
+class TestStampedeProtection:
+    def test_cold_key_is_solved_exactly_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = request_key("lcs", 20, overrides={"backend": "serial"})
+        solves = []
+        gate = threading.Barrier(8)
+        with Session(system="i7-2600K") as session:
+
+            def solve():
+                solves.append(threading.get_ident())
+                return session.solve("lcs", 20, backend="serial")
+
+            def worker():
+                gate.wait()  # maximise the race on the cold key
+                cache.get_or_solve(key, solve)
+
+            hammer(8, worker)
+        assert len(solves) == 1, "concurrent misses must elect one leader"
+        assert cache.lookups == 8 and cache.misses == 1
+        assert cache.coalesced + cache.memory_hits == 7
+
+    def test_leader_failure_propagates_then_clears(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = request_key("lcs", 24, overrides={"backend": "serial"})
+        gate = threading.Barrier(4)
+        failures = []
+
+        def failing_solve():
+            raise RuntimeError("injected solve failure")
+
+        def worker():
+            gate.wait()
+            try:
+                cache.get_or_solve(key, failing_solve)
+            except RuntimeError:
+                failures.append(1)
+
+        hammer(4, worker)
+        assert len(failures) == 4, "the leader's error reaches every waiter"
+        # The in-flight slot is retired: a later solve succeeds normally.
+        with Session(system="i7-2600K") as session:
+            result = cache.get_or_solve(
+                key, lambda: session.solve("lcs", 24, backend="serial")
+            )
+        assert result.grid is not None
+
+
+class TestEvictionUnderLoad:
+    def test_tight_bounds_never_serve_stale_or_torn_grids(
+        self, tmp_path, expected_grids
+    ):
+        cache = ResultCache(tmp_path, max_entries=2, memory_entries=1)
+        with Session(system="i7-2600K", cache_dir=None, result_cache=cache) as session:
+
+            def worker():
+                for app, dim in zipf_requests(24, seed=17, s=0.5):
+                    result = session.solve(app, dim, backend="serial")
+                    assert np.array_equal(
+                        result.grid.values, expected_grids[(app, dim)]
+                    ), f"{app}:{dim} served a wrong grid under eviction pressure"
+
+            hammer(6, worker)
+        assert cache.store.evictions > 0, "the test must actually evict"
+        assert len(cache.store) <= 2
+        assert cache.store.corrupt_dropped == 0
+
+
+class TestCorruptionUnderLoad:
+    def test_injected_corruption_is_counted_and_repaired(
+        self, tmp_path, expected_grids
+    ):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            session.solve("lcs", 20, backend="serial")
+            digest = next(iter(p.stem for p in tmp_path.glob("*.npz")))
+            path = tmp_path / f"{digest}.npz"
+            path.write_bytes(b"garbage" * 100)
+            session.result_cache.clear_memory()
+            runs_before = session.stats["runs"]
+
+            def worker():
+                result = session.solve("lcs", 20, backend="serial")
+                assert np.array_equal(
+                    result.grid.values, expected_grids[("lcs", 20)]
+                )
+
+            hammer(6, worker)
+            store = session.result_cache.store
+            assert store.corrupt_dropped == 1, "corruption must be counted once"
+            assert session.stats["runs"] == runs_before + 1, "one repair re-solve"
+            # Self-repair: the entry is valid again for a cold reader.
+            fresh = DiskCacheStore(tmp_path)
+            assert fresh.get(digest) is not None
+
+    def test_stale_directory_fails_fast_at_session_construction(self, tmp_path):
+        (tmp_path / "cache_format.json").write_text('{"format_version": 999}')
+        with pytest.raises(CacheError):
+            Session(system="i7-2600K", cache_dir=tmp_path)

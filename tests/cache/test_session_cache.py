@@ -1,0 +1,112 @@
+"""Session- and server-level behaviour of the persistent result cache.
+
+What is cached (functional registry-name requests), what deliberately
+bypasses the cache (simulate mode, instance/problem requests), how the
+cache surfaces in ``cache_info()`` and the server's metrics snapshot, and
+that cached answers stay bit-identical to fresh solving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lcs import LCSApp
+from repro.server import ReproServer, ServerConfig
+from repro.session import Session
+
+
+class TestSolveCaching:
+    def test_repeated_solve_executes_once(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            first = session.solve("lcs", 24, backend="serial")
+            runs = session.stats["runs"]
+            second = session.solve("lcs", 24, backend="serial")
+            assert session.stats["runs"] == runs
+            assert np.array_equal(first.grid.values, second.grid.values)
+
+    def test_results_persist_across_sessions(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as first:
+            original = session_solve = first.solve("lcs", 24, backend="serial")
+        with Session(system="i7-2600K", cache_dir=tmp_path) as second:
+            replayed = second.solve("lcs", 24, backend="serial")
+            assert second.stats["runs"] == 0
+            assert second.cache_info()["results"]["disk_hits"] == 1
+        assert np.array_equal(original.grid.values, replayed.grid.values)
+        assert replayed.rtime == pytest.approx(session_solve.rtime)
+
+    def test_solve_many_shares_the_cache(self, tmp_path):
+        requests = [("lcs", 24), ("lcs", 24), ("matrix-chain", 18), ("lcs", 24)]
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            # Warm the plan path manually so every request is a manual plan.
+            results = session.solve_many(
+                [{"app": app, "dim": dim, "backend": "serial"} for app, dim in requests]
+            )
+            assert session.stats["runs"] == 2  # two distinct signatures
+            assert np.array_equal(results[0].grid.values, results[1].grid.values)
+
+    def test_simulate_mode_bypasses_the_cache(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            runs = session.stats["runs"]
+            session.solve("lcs", 24, backend="serial", mode="simulate")
+            session.solve("lcs", 24, backend="serial", mode="simulate")
+            assert session.stats["runs"] == runs + 2
+            assert session.cache_info()["results"]["lookups"] == 0
+
+    def test_instance_requests_bypass_the_cache(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            app = LCSApp(dim=24, seed=5)
+            runs = session.stats["runs"]
+            session.solve(app, 24, backend="serial")
+            session.solve(app, 24, backend="serial")
+            assert session.stats["runs"] == runs + 2
+            assert session.cache_info()["results"]["lookups"] == 0
+
+    def test_distinct_overrides_get_distinct_entries(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            serial = session.solve("lcs", 24, backend="serial")
+            vectorized = session.solve("lcs", 24, backend="vectorized")
+            assert session.stats["runs"] == 2
+            assert session.cache_info()["results"]["misses"] == 2
+            # Same mathematics, separately addressed.
+            assert np.array_equal(serial.grid.values, vectorized.grid.values)
+
+    def test_cached_answers_match_uncached_sessions(self, tmp_path):
+        with Session(system="i7-2600K") as plain:
+            expected = plain.solve("lcs", 24, backend="serial")
+        with Session(system="i7-2600K", cache_dir=tmp_path) as cached:
+            cached.solve("lcs", 24, backend="serial")
+            warm = cached.solve("lcs", 24, backend="serial")
+        assert np.array_equal(warm.grid.values, expected.grid.values)
+
+
+class TestIntrospection:
+    def test_cache_info_has_no_results_section_without_cache(self):
+        with Session(system="i7-2600K") as session:
+            assert "results" not in session.cache_info()
+            assert session.result_cache is None
+
+    def test_cache_info_reports_every_tier(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            session.solve("lcs", 24, backend="serial")
+            session.solve("lcs", 24, backend="serial")
+            info = session.cache_info()["results"]
+        assert info["lookups"] == 2 and info["misses"] == 1
+        assert info["memory_hits"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+        assert info["disk"]["entries"] == 1
+        assert info["memory"]["size"] == 1
+
+    def test_server_metrics_carry_the_cache_section(self, tmp_path):
+        session = Session(system="i7-2600K", cache_dir=tmp_path, space=None)
+        with ReproServer(session, ServerConfig(), own_session=True) as server:
+            server.solve("lcs", 24, backend="serial", timeout=30)
+            server.solve("lcs", 24, backend="serial", timeout=30)
+            snapshot = server.metrics()
+        assert snapshot["cache"] is not None
+        assert snapshot["cache"]["lookups"] >= 2
+        assert snapshot["cache"]["misses"] >= 1
+        assert "caches" in snapshot and "results" in snapshot["caches"]
+
+    def test_server_metrics_cache_is_none_without_cache_dir(self):
+        session = Session(system="i7-2600K")
+        with ReproServer(session, ServerConfig(), own_session=True) as server:
+            assert server.metrics()["cache"] is None

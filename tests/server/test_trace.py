@@ -1,0 +1,252 @@
+"""Trace generation, record/replay round-trips and the cache-efficacy path.
+
+A trace must be a *contract*: the same seed always generates the same
+request stream, a saved trace replays bit-exactly, and anything that would
+silently change the workload (stale format, foreign file, malformed
+entries) is a typed :class:`~repro.core.exceptions.CacheError` that the CLI
+maps to exit code 3.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import EXIT_ARTIFACT, main
+from repro.core.exceptions import CacheError, UsageError
+from repro.server import (
+    InProcessTarget,
+    LoadgenConfig,
+    ReproServer,
+    RequestTrace,
+    ServerConfig,
+    build_reference,
+    build_schedule,
+    generate_trace,
+    load_trace,
+    run_loadgen,
+    save_trace,
+    zipf_weights,
+)
+from repro.server.trace import TRACE_FORMAT_VERSION
+from repro.session import Session
+
+MIX = (("lcs", 20), ("edit-distance", 18), ("matrix-chain", 16))
+
+
+class TestGeneration:
+    def test_same_seed_generates_the_same_trace(self):
+        first = generate_trace(MIX, 50, seed=9, zipf_s=1.3)
+        second = generate_trace(MIX, 50, seed=9, zipf_s=1.3)
+        assert first.entries == second.entries
+        assert first.meta == second.meta
+        assert len(first) == 50
+
+    def test_zipf_weights_are_rank_monotone(self):
+        weights = zipf_weights(6, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(5))
+        flat = zipf_weights(6, 0.0)
+        assert np.allclose(flat, 1 / 6)
+
+    def test_skew_concentrates_on_the_head(self):
+        trace = generate_trace(MIX, 400, seed=1, zipf_s=1.5)
+        apps = [entry["app"] for entry in trace.entries]
+        head = apps.count(MIX[0][0])
+        tail = apps.count(MIX[-1][0])
+        assert head > tail, "rank 1 must dominate rank 3 under Zipf skew"
+        assert set(apps) == {app for app, _ in MIX}, "the tail stays present"
+
+    def test_open_loop_offsets_are_monotone_at_the_mean_rate(self):
+        trace = generate_trace(MIX, 300, seed=2, rate_rps=50.0, burst=1.0)
+        offsets = [entry["offset_s"] for entry in trace.entries]
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+        mean_gap = offsets[-1] / len(offsets)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.35)
+
+    def test_burst_raises_gap_variance_not_the_mean(self):
+        smooth = generate_trace(MIX, 600, seed=4, rate_rps=100.0, burst=1.0)
+        bursty = generate_trace(MIX, 600, seed=4, rate_rps=100.0, burst=8.0)
+
+        def gaps(trace):
+            offsets = [entry["offset_s"] for entry in trace.entries]
+            return np.diff([0.0] + offsets)
+
+        assert np.mean(gaps(bursty)) == pytest.approx(np.mean(gaps(smooth)), rel=0.4)
+        assert np.std(gaps(bursty)) > 2 * np.std(gaps(smooth))
+
+    def test_closed_loop_has_no_offsets(self):
+        trace = generate_trace(MIX, 10, seed=0)
+        assert all(entry["offset_s"] is None for entry in trace.entries)
+        assert trace.distinct_mix() and set(trace.distinct_mix()) <= set(MIX)
+
+    def test_bad_arguments_are_usage_errors(self):
+        with pytest.raises(UsageError):
+            generate_trace(MIX, 0, seed=1)
+        with pytest.raises(UsageError):
+            generate_trace(MIX, 10, seed=1, zipf_s=-1)
+        with pytest.raises(UsageError):
+            generate_trace(MIX, 10, seed=1, burst=0)
+        with pytest.raises(UsageError):
+            generate_trace(MIX, 10, seed=1, rate_rps=0)
+
+
+class TestRoundTrip:
+    def test_save_load_is_identity(self, tmp_path):
+        trace = generate_trace(MIX, 40, seed=13, rate_rps=25.0, burst=2.0)
+        path = save_trace(trace, tmp_path / "trace.json")
+        loaded = load_trace(path)
+        assert loaded.entries == trace.entries
+        assert loaded.meta == trace.meta
+        assert loaded.schedule() == trace.schedule()
+
+    def test_missing_file_raises_cache_error(self, tmp_path):
+        with pytest.raises(CacheError):
+            load_trace(tmp_path / "nope.json")
+
+    def test_non_json_raises_cache_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{broken")
+        with pytest.raises(CacheError):
+            load_trace(path)
+
+    def test_foreign_json_raises_cache_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format_version": 1, "results": {}}))
+        with pytest.raises(CacheError):
+            load_trace(path)
+
+    def test_stale_format_version_raises_cache_error(self, tmp_path):
+        trace = generate_trace(MIX, 5, seed=1)
+        path = save_trace(trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = TRACE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheError):
+            load_trace(path)
+
+    def test_malformed_entries_raise_cache_error(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": TRACE_FORMAT_VERSION,
+                    "kind": "request-trace",
+                    "meta": {},
+                    "entries": [{"app": "lcs", "dim": "not-an-int"}],
+                }
+            )
+        )
+        with pytest.raises(CacheError):
+            load_trace(path)
+
+    def test_cli_maps_stale_trace_to_exit_3(self, tmp_path):
+        trace = generate_trace(MIX, 5, seed=1)
+        path = save_trace(trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        code = main(
+            [
+                "loadgen",
+                "--system",
+                "i3-540",
+                "--space",
+                "tiny",
+                "--trace",
+                str(path),
+                "--out",
+                str(tmp_path / "artifact.json"),
+            ]
+        )
+        assert code == EXIT_ARTIFACT
+
+    def test_cli_rejects_record_and_replay_together(self, tmp_path):
+        code = main(
+            [
+                "loadgen",
+                "--trace",
+                str(tmp_path / "a.json"),
+                "--trace-out",
+                str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 2
+
+
+class TestSchedule:
+    def test_round_robin_schedule_matches_the_mix_cycle(self):
+        config = LoadgenConfig(mix=MIX, requests=7, rate_rps=None)
+        schedule = build_schedule(config)
+        assert [(app, dim) for app, dim, _ in schedule] == [
+            MIX[i % len(MIX)] for i in range(7)
+        ]
+        assert all(offset is None for _, _, offset in schedule)
+
+    def test_open_loop_schedule_paces_evenly(self):
+        config = LoadgenConfig(mix=MIX, requests=4, rate_rps=10.0)
+        schedule = build_schedule(config)
+        assert [offset for _, _, offset in schedule] == [0.0, 0.1, 0.2, 0.3]
+
+    def test_trace_overrides_the_config(self):
+        trace = generate_trace(MIX, 9, seed=3)
+        config = LoadgenConfig(mix=(("lcs", 999),), requests=2)
+        schedule = build_schedule(config, trace)
+        assert len(schedule) == 9
+        assert schedule == trace.schedule()
+
+
+class TestCacheEfficacy:
+    def test_cold_then_warm_replay_reaches_full_hit_rate(self, tmp_path):
+        """The CI cache gate's scenario, in miniature and in-process."""
+        trace = generate_trace(MIX, 30, seed=21, zipf_s=1.2)
+        config = LoadgenConfig(mix=trace.distinct_mix(), requests=len(trace))
+        with Session(system="i3-540") as reference_session:
+            reference = build_reference(
+                reference_session, trace.distinct_mix(), "functional"
+            )
+
+        def replay():
+            session = Session(system="i3-540", cache_dir=tmp_path / "cache")
+            server = ReproServer(session, ServerConfig(), own_session=True).start()
+            try:
+                return run_loadgen(
+                    InProcessTarget(server), config, reference, trace=trace
+                )
+            finally:
+                server.close()
+
+        cold = replay()
+        warm = replay()
+        for artifact in (cold, warm):
+            assert artifact["results"]["failed"] == 0
+            assert artifact["results"]["mismatches"] == 0
+            assert artifact["results"]["completed"] == len(trace)
+            assert artifact["meta"]["trace"] == trace.meta
+        assert cold["cache"]["misses"] == len(trace.distinct_mix())
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["hit_rate"] == pytest.approx(1.0)
+        assert warm["cache"]["disk_hits"] >= 1, "the warm run starts from disk"
+
+    def test_artifact_counts_unverified_completions(self):
+        trace = generate_trace(MIX, 6, seed=2)
+        config = LoadgenConfig(mix=trace.distinct_mix(), requests=len(trace))
+        session = Session(system="i3-540")
+        server = ReproServer(session, ServerConfig(), own_session=True).start()
+        try:
+            artifact = run_loadgen(
+                InProcessTarget(server), config, reference=None, trace=trace
+            )
+        finally:
+            server.close()
+        assert artifact["results"]["skipped_verification"] == len(trace)
+        assert artifact["results"]["mismatches"] == 0
+        assert artifact["cache"] is None, "no --cache-dir, no cache section"
+
+
+class TestRequestTrace:
+    def test_describe_mentions_the_shape(self):
+        trace = generate_trace(MIX, 12, seed=5)
+        text = trace.describe()
+        assert "12 requests" in text and "seed=5" in text
+        assert isinstance(trace, RequestTrace)
