@@ -39,6 +39,8 @@ REQUIRED_RESULT_KEYS = (
     "completed",
     "rejected",
     "failed",
+    "deadline_expired",
+    "retries",
     "mismatches",
     "skipped_verification",
     "wall_s",
@@ -101,6 +103,11 @@ def well_formed(artifact: dict, min_completed: int) -> list[str]:
         )
     if results.get("failed"):
         problems.append(f"{results['failed']} requests failed")
+    if results.get("deadline_expired"):
+        problems.append(
+            f"{results['deadline_expired']} requests missed their deadline "
+            "(no chaos is injected in this gate, so none should)"
+        )
     if results.get("mismatches"):
         problems.append(
             f"{results['mismatches']} answers did not match in-process solving"

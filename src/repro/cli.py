@@ -374,7 +374,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-timeout",
         type=float,
         default=120.0,
-        help="seconds an HTTP handler waits for its result (default: 120)",
+        help="seconds an HTTP handler waits for a deadline-less result "
+        "(default: 120)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="supervised worker shards, each hosting its own session "
+        "(default: 1, an in-thread shard sharing the server session)",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds when the client sends none; "
+        "expired requests answer HTTP 504 (0 disables; default: 30)",
+    )
+    serve.add_argument(
+        "--degraded-fallback",
+        action="store_true",
+        help="when every shard is unavailable, solve directly in-process "
+        "instead of shedding load with 429",
+    )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        help="deterministic fault plan 'kind@k[:seconds],...' with kinds "
+        "kill/slow/hang/drop, e.g. 'kill@7,slow@18:0.2,drop@47' (testing)",
     )
     serve.add_argument(
         "--cache-dir",
@@ -441,6 +468,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--timeout", type=float, default=120.0, help="per-request timeout in seconds"
+    )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max jittered-backoff retries of a backpressured (429) "
+        "request before recording it rejected (default: 3)",
+    )
+    loadgen.add_argument(
+        "--retry-base",
+        type=float,
+        default=0.05,
+        help="base of the exponential retry backoff in seconds (default: 0.05)",
+    )
+    loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds sent with every request; "
+        "504 answers are counted as deadline_expired (default: none)",
     )
     loadgen.add_argument(
         "--queue-size", type=int, default=64, help="in-process server queue bound"
@@ -946,8 +993,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.core.exceptions import ServerError
-    from repro.server import ReproServer, ServerConfig, ServingEndpoint
+    from repro.server import FaultPlan, ReproServer, ServerConfig, ServingEndpoint
 
+    fault_plan = FaultPlan.parse(args.chaos)  # UsageError -> exit 2
     session = Session(
         system=args.system,
         tuner=args.tuner,
@@ -959,6 +1007,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         print(f"warming the {args.tuner!r} tuner for {session.system.name} ...")
         session.tuner  # noqa: B018 - train/load before accepting traffic
+        session_factory = None
+        if args.shards > 1:
+            # Each shard hosts its own session but shares the warmed tuner
+            # (one training) and the persistent result cache (re-dispatched
+            # requests coalesce on its leader/follower keys — at-most-once).
+            def session_factory(index: int) -> Session:
+                return Session(
+                    system=session.system,
+                    tuner=session.tuner,
+                    space=_space(args.space),
+                    mode=args.mode,
+                    result_cache=session.result_cache,
+                )
+
         # Built after the warm-up so the metrics uptime clock (the
         # denominator of throughput_rps) starts when serving can, not when
         # training did.
@@ -968,8 +1030,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 queue_capacity=args.queue_size,
                 max_batch=args.max_batch,
                 workers=args.server_workers,
+                default_deadline_s=(
+                    args.default_deadline if args.default_deadline > 0 else None
+                ),
+                shards=args.shards,
+                degraded_fallback=args.degraded_fallback,
             ),
             own_session=True,
+            session_factory=session_factory,
+            fault_plan=fault_plan,
         )
         try:
             endpoint = ServingEndpoint(
@@ -994,9 +1063,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"serving {session.system.name} on {endpoint.url}  "
             f"(queue={args.queue_size}, max-batch={args.max_batch}, "
-            f"workers={args.server_workers}, mode={args.mode})"
+            f"workers={args.server_workers}, shards={args.shards}, "
+            f"deadline={args.default_deadline:g}s, mode={args.mode})"
         )
-        print("endpoints: POST /solve  GET /metrics  GET /healthz  POST /shutdown")
+        if len(fault_plan):
+            print(f"chaos plan armed: {fault_plan.describe()}")
+        print(
+            "endpoints: POST /solve  GET /metrics  GET /healthz  GET /readyz  "
+            "POST /shutdown"
+        )
         endpoint.serve_forever()
         print("shutdown requested; draining the queue ...")
     finally:
@@ -1017,9 +1092,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     latency = metrics["latency_ms"]
     print(
         f"served {requests['completed']} requests "
-        f"({requests['rejected']} rejected, {requests['failed']} failed) at "
+        f"({requests['rejected']} rejected, {requests['failed']} failed, "
+        f"{requests['deadline_expired']} deadline-expired) at "
         f"{metrics['throughput_rps']:.1f} req/s; "
         f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms"
+    )
+    supervisor = metrics.get("supervisor") or {}
+    print(
+        f"supervisor: {supervisor.get('restarts', 0)} restarts, "
+        f"{supervisor.get('redispatches', 0)} redispatches, "
+        f"{supervisor.get('faults_injected', 0)} faults injected"
     )
     return EXIT_OK
 
@@ -1074,6 +1156,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         rate_rps=args.rate,
         mode=args.mode,
         timeout_s=args.timeout,
+        retries=args.retries,
+        retry_base_s=args.retry_base,
+        deadline_s=args.deadline,
     )
 
     def make_session(cache_dir=None) -> Session:

@@ -45,6 +45,19 @@ class ExecutionError(ReproError):
     """A runtime executor failed to complete an execution."""
 
 
+class WorkerCrashError(ExecutionError):
+    """A worker process of a multicore pool died mid-execution.
+
+    Raised by :class:`repro.runtime.mp_parallel.MPWavefrontPool` when the
+    underlying :class:`concurrent.futures.ProcessPoolExecutor` reports a
+    broken pool (a worker was killed or segfaulted).  The pool marks itself
+    broken; :class:`repro.runtime.lifecycle.EngineHost` rebuilds it on the
+    next request, so one crashed worker costs one failed execution, never a
+    poisoned session.  The shard supervisor treats this as a shard crash
+    and re-dispatches the in-flight request to a healthy shard.
+    """
+
+
 class ModelNotFittedError(ReproError):
     """A machine-learning model was used before being fitted."""
 
@@ -122,6 +135,42 @@ class BackpressureError(ServerError):
     request was refused instead of queued.  The HTTP endpoint maps this to
     status 429; clients should retry with backoff or reduce their offered
     load.
+    """
+
+
+class DeadlineError(ServerError):
+    """A request's deadline expired before its result was delivered.
+
+    The serving layer's typed timeout: a per-request ``deadline_s``
+    (defaulting to :attr:`repro.server.ServerConfig.default_deadline_s`)
+    propagates client → HTTP → queue → scheduler → shard, and a request
+    that cannot be answered in time fails with this error instead of
+    hanging — the HTTP endpoint maps it to status 504.  The failed ticket
+    is counted in the ``deadline_expired`` metrics counter.
+    """
+
+
+class ShardCrashError(ServerError):
+    """A worker shard died (or was declared dead) mid-request.
+
+    Raised inside a shard by the chaos-injection layer (a ``kill`` fault)
+    and synthesised by the supervisor's monitor when a shard misses its
+    heartbeats or hangs past a request deadline.  The supervisor restarts
+    the shard under jittered exponential backoff and re-dispatches the
+    in-flight request; only a request that exhausts its re-dispatch budget
+    surfaces this error to the client.
+    """
+
+
+class ShardUnavailableError(BackpressureError):
+    """No healthy shard can accept work (restart budget exhausted).
+
+    The supervisor's circuit breaker: every shard is dead or still backing
+    off, so the server sheds the request early instead of queueing it into
+    a black hole.  Subclasses :class:`BackpressureError`, so the HTTP
+    endpoint answers 429 with a ``Retry-After`` header and load generators
+    retry with backoff; with the degraded-fallback flag the server solves
+    the request directly in-process instead of raising this.
     """
 
 

@@ -144,7 +144,11 @@ class EngineHost:
         :meth:`close`).  The cache key includes the problem's identity, so
         a recycled ``id()`` from a garbage-collected problem can never
         alias (the cached entry keeps its problem alive and is compared
-        by identity before reuse).
+        by identity before reuse).  A cached pool whose worker died
+        (``pool.broken``) is never handed out again: a fresh pool replaces
+        it and the LRU ``put`` eviction hook closes the broken one —
+        unlinking its shared-memory segment — so one crashed worker costs
+        one failed request, never a poisoned session or a leaked segment.
         """
         self._check_open()
         from repro.runtime.mp_parallel import MPWavefrontPool
@@ -153,7 +157,12 @@ class EngineHost:
             self.stats["pool_requests"] += 1
             key = (id(problem), int(tile), max(1, int(workers)))
             pool = self._pools.get(key)
-            if pool is not None and pool.problem is problem and not pool.is_bound:
+            if (
+                pool is not None
+                and pool.problem is problem
+                and not pool.is_bound
+                and not pool.broken
+            ):
                 return pool
             pool = MPWavefrontPool(problem, tile=tile, workers=max(1, int(workers)))
             self.stats["pools_built"] += 1

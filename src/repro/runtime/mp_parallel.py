@@ -31,10 +31,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
-from repro.core.exceptions import ExecutionError
+from repro.core.exceptions import ExecutionError, WorkerCrashError
 from repro.core.grid import WavefrontGrid
 from repro.core.params import TunableParams
 from repro.core.pattern import WavefrontProblem
@@ -158,6 +159,7 @@ class MPWavefrontPool:
         self._buffer: SharedGridBuffer | None = None
         self._orig_values: np.ndarray | None = None
         self._engine = None
+        self._broken = False
         if self.workers >= 2:
             self._buffer = SharedGridBuffer.create(dim, dtype=np.float64)
             self._pool = ProcessPoolExecutor(
@@ -180,6 +182,17 @@ class MPWavefrontPool:
     def is_bound(self) -> bool:
         """True while a grid is attached via :meth:`bind`."""
         return self.grid is not None
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker process died (the pool cannot run again).
+
+        A broken pool still releases its bound grid and :meth:`close`\\ s
+        cleanly (the shared segment is unlinked); it is simply never reused —
+        :meth:`repro.runtime.lifecycle.EngineHost.pool_for` builds a fresh
+        pool in its place on the next request.
+        """
+        return self._broken
 
     @property
     def bound_multiprocess(self) -> bool:
@@ -251,7 +264,21 @@ class MPWavefrontPool:
             nonlocal cells
             cells += int(n)  # type: ignore[arg-type]
 
-        executed = run_schedule(waves, _TileTask(d_lo, d_hi), pool=self._pool, collect=collect)
+        try:
+            executed = run_schedule(
+                waves, _TileTask(d_lo, d_hi), pool=self._pool, collect=collect
+            )
+        except BrokenProcessPool as crash:
+            # A worker died (killed, OOM, segfault).  Mark the pool broken —
+            # it can never run again — and surface a typed error so the
+            # caller (session / shard supervisor) can rebuild and retry
+            # instead of hanging or crashing the service.
+            self._broken = True
+            raise WorkerCrashError(
+                f"worker process of the {self.workers}-worker pool died "
+                f"mid-execution (dim {self.problem.dim}, tile {self.tile}): "
+                f"{crash}"
+            ) from crash
         return executed, cells
 
     def close(self) -> None:

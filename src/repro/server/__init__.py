@@ -16,11 +16,20 @@ Layering, bottom up:
   signature-aware batch drains) and :class:`ServeRequest` (the ticket);
 * :mod:`repro.server.metrics` — :class:`ServerMetrics` and the shared
   latency summary helper;
+* :mod:`repro.server.faults` — :class:`FaultPlan` / :class:`FaultSpec` /
+  :class:`FaultInjector`, the deterministic chaos-injection layer behind
+  ``repro serve --chaos`` and the chaos-smoke gate
+  (``scripts/check_chaos.py``);
+* :mod:`repro.server.supervisor` — :class:`ShardSupervisor`,
+  :class:`SupervisorConfig`, :class:`Shard` and :class:`ShardTask`: worker
+  shards with heartbeat health checks, crash detection, jittered-backoff
+  restarts, a restart-budget circuit breaker and bounded re-dispatch;
 * :mod:`repro.server.service` — :class:`ReproServer` + :class:`ServerConfig`,
-  the scheduler workers and graceful drain/shutdown;
+  the scheduler workers (dispatching through the supervisor), per-request
+  deadlines and graceful drain/shutdown;
 * :mod:`repro.server.http` — :class:`ServingEndpoint`, the bound HTTP
   endpoint (``POST /solve``, ``GET /metrics``, ``GET /healthz``,
-  ``POST /shutdown``);
+  ``GET /readyz``, ``POST /shutdown``);
 * :mod:`repro.server.loadgen` — :class:`LoadgenConfig`, targets and
   :func:`run_loadgen`, writing the artifact ``scripts/check_serve.py``
   gates;
@@ -53,10 +62,17 @@ from repro.server.loadgen import (
     parse_mix,
     run_loadgen,
 )
+from repro.server.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.server.http import ServingEndpoint, grid_digest, result_payload
 from repro.server.metrics import ServerMetrics, summarise_latencies
 from repro.server.queue import RequestQueue, ServeRequest, request_signature
 from repro.server.service import ReproServer, ServerConfig
+from repro.server.supervisor import (
+    Shard,
+    ShardSupervisor,
+    ShardTask,
+    SupervisorConfig,
+)
 from repro.server.trace import (
     TRACE_FORMAT_VERSION,
     RequestTrace,
@@ -73,6 +89,13 @@ __all__ = [
     "ServingEndpoint",
     "RequestQueue",
     "ServeRequest",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "Shard",
+    "ShardTask",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
     "LoadgenConfig",
     "HTTPTarget",
     "InProcessTarget",

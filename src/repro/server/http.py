@@ -14,11 +14,20 @@ Routes (all JSON):
 * ``GET /metrics`` — the server's metrics snapshot
   (:meth:`repro.server.ReproServer.metrics`).
 * ``GET /healthz`` — liveness: ``{"status": "ok", "uptime_s": ...}``.
+  Answers 200 while the process serves HTTP at all — restarting shards do
+  not flip liveness, only readiness.
+* ``GET /readyz`` — readiness: per-shard state (``healthy`` / ``restarting``
+  / ``dead``), restart counts and degraded mode
+  (:meth:`repro.server.ReproServer.readiness`); answers ``503`` when no
+  shard can take traffic so external probes route around the instance.
 * ``POST /shutdown`` — begins a graceful drain + stop; answers ``202``.
 
-Error mapping: backpressure → 429, usage/unknown-name errors → 400, missing
+Error mapping: deadline expiry → 504, backpressure → 429 (with a
+``Retry-After`` header), usage/unknown-name errors → 400, missing
 artifacts → 409, any other framework error → 500; every error body is
-``{"error": {"type": ..., "message": ...}}``.
+``{"error": {"type": ..., "message": ...}}``.  ``POST /solve`` accepts an
+optional ``deadline_s`` body key bounding the request end-to-end (default:
+the server's ``default_deadline_s``).
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ import numpy as np
 from repro.core.exceptions import (
     ArtifactError,
     BackpressureError,
+    DeadlineError,
     RegistryError,
     ServerError,
     UsageError,
@@ -79,8 +89,20 @@ def result_payload(app: str, dim: int | None, result: ExecutionResult) -> dict:
     return payload
 
 
+#: ``Retry-After`` seconds suggested to backpressured (429) clients.
+RETRY_AFTER_S = 1
+
+
 def error_status(error: BaseException) -> int:
-    """Map one framework error to its HTTP status code."""
+    """Map one framework error to its HTTP status code.
+
+    Order matters: :class:`DeadlineError` subclasses :class:`ServerError`
+    (504 before 503) and :class:`~repro.core.exceptions.\
+ShardUnavailableError` subclasses :class:`BackpressureError` (both shed
+    load as 429).
+    """
+    if isinstance(error, DeadlineError):
+        return 504
     if isinstance(error, BackpressureError):
         return 429
     if isinstance(error, (UsageError, RegistryError)):
@@ -117,6 +139,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     "uptime_s": self.endpoint.repro_server.metrics_store.uptime_s,
                 },
             )
+        elif self.path == "/readyz":
+            readiness = self.endpoint.repro_server.readiness()
+            self._reply(200 if readiness["ready"] else 503, readiness)
         else:
             self._reply(404, _error_body(ServerError(f"no route {self.path!r}"), 404))
 
@@ -144,12 +169,26 @@ class _ServeHandler(BaseHTTPRequestHandler):
         app = body.pop("app")
         dim = body.pop("dim", None)
         mode = body.pop("mode", None)
+        deadline_s = body.pop("deadline_s", None)
+        if deadline_s is not None:
+            try:
+                deadline_s = float(deadline_s)
+            except (TypeError, ValueError):
+                error = UsageError(f"deadline_s must be a number, got {deadline_s!r}")
+                self._reply(400, _error_body(error, 400))
+                return
         ticket = None
         try:
             ticket = self.endpoint.repro_server.submit(
-                app, dim, mode=mode, **body
+                app, dim, mode=mode, deadline_s=deadline_s, **body
             )
-            result = ticket.result(timeout=self.endpoint.request_timeout_s)
+            # The ticket's own deadline bounds the wait (result() with no
+            # timeout); the endpoint timeout is only the backstop for
+            # deadline-less requests.
+            if ticket.deadline_at is not None:
+                result = ticket.result()
+            else:
+                result = ticket.result(timeout=self.endpoint.request_timeout_s)
         except Exception as error:  # noqa: BLE001 - every failure answers JSON
             # ReproErrors map to their documented statuses; anything else
             # (e.g. a TypeError from bad constructor kwargs) answers 500
@@ -169,6 +208,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if status == 429:
+            # Explicit backpressure: tell well-behaved clients when to come
+            # back instead of letting them hammer the full queue.
+            self.send_header("Retry-After", str(RETRY_AFTER_S))
         self.end_headers()
         self.wfile.write(data)
 

@@ -24,6 +24,7 @@ criterion, enforced on every request.
 from __future__ import annotations
 
 import json
+import random
 import sys
 import threading
 import time
@@ -33,7 +34,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.exceptions import BackpressureError, ServerError, UsageError
+from repro.core.exceptions import (
+    BackpressureError,
+    DeadlineError,
+    ServerError,
+    UsageError,
+)
 from repro.server.http import grid_digest
 from repro.server.service import ReproServer
 from repro.session import Session
@@ -43,7 +49,13 @@ from repro.server.metrics import summarise_latencies
 #: v2: ``results.skipped_verification`` (completed-but-unverified requests
 #: are now counted, never silent), a ``cache`` section (per-run delta of the
 #: server's persistent result-cache counters) and ``meta.trace``.
-LOADGEN_FORMAT_VERSION = 2
+#: v3: ``results.deadline_expired`` (504s are a distinct outcome, not
+#: generic failures) and ``results.retries`` (backpressured attempts retried
+#: with jittered exponential backoff are counted, not hidden).
+LOADGEN_FORMAT_VERSION = 3
+
+#: Cap of the jittered exponential retry backoff (seconds).
+RETRY_CAP_S = 1.0
 
 #: Default request mix: three small DP apps, distinct signatures.
 DEFAULT_MIX = "lcs:48,edit-distance:40,matrix-chain:32"
@@ -84,7 +96,16 @@ class LoadgenConfig:
     ``clients`` the number of concurrent issuing threads; ``rate_rps``
     switches to open-loop arrivals at that aggregate rate; ``mode`` is the
     execution mode forwarded with every request; ``timeout_s`` bounds each
-    individual request.
+    individual request attempt.
+
+    ``retries`` bounds how many times a backpressured (429) request is
+    retried — with jittered exponential backoff from ``retry_base_s``,
+    capped at :data:`RETRY_CAP_S` — before it is recorded as rejected;
+    every retried attempt is counted in the artifact's ``retries`` field.
+    ``deadline_s`` is an optional per-request deadline sent with every
+    request; a 504 (:class:`~repro.core.exceptions.DeadlineError`) is
+    recorded as the distinct ``deadline_expired`` outcome, never retried
+    (the deadline already passed — more attempts cannot help).
     """
 
     mix: tuple[tuple[str, int], ...]
@@ -93,6 +114,9 @@ class LoadgenConfig:
     rate_rps: float | None = None
     mode: str = "functional"
     timeout_s: float = 120.0
+    retries: int = 3
+    retry_base_s: float = 0.05
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         """Validate the workload shape once."""
@@ -102,6 +126,14 @@ class LoadgenConfig:
             raise UsageError(f"clients must be >= 1, got {self.clients}")
         if self.rate_rps is not None and self.rate_rps <= 0:
             raise UsageError(f"rate must be > 0, got {self.rate_rps}")
+        if self.retries < 0:
+            raise UsageError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_base_s <= 0:
+            raise UsageError(
+                f"retry_base_s must be > 0, got {self.retry_base_s}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise UsageError(f"deadline must be > 0, got {self.deadline_s}")
 
 
 # ----------------------------------------------------------------------
@@ -119,14 +151,25 @@ class HTTPTarget:
         """The target identifier recorded in the artifact."""
         return self.url
 
-    def solve(self, app: str, dim: int, mode: str, timeout_s: float) -> dict:
+    def solve(
+        self,
+        app: str,
+        dim: int,
+        mode: str,
+        timeout_s: float,
+        deadline_s: float | None = None,
+    ) -> dict:
         """POST one solve; return the response payload.
 
         Raises :class:`~repro.core.exceptions.ServerError` carrying the
-        endpoint's error type for non-200 answers (429 stays recognisable
-        through the ``backpressure`` flag on the raised error).
+        endpoint's HTTP status on the error's ``status`` attribute for
+        non-200 answers, so callers can branch on 429 (backpressure) and
+        504 (deadline) without string matching.
         """
-        body = json.dumps({"app": app, "dim": dim, "mode": mode}).encode("utf-8")
+        request_body: dict = {"app": app, "dim": dim, "mode": mode}
+        if deadline_s is not None:
+            request_body["deadline_s"] = deadline_s
+        body = json.dumps(request_body).encode("utf-8")
         request = urllib.request.Request(
             f"{self.url}/solve",
             data=body,
@@ -176,9 +219,22 @@ class InProcessTarget:
         """The target identifier recorded in the artifact."""
         return f"in-process:{self.server.session.system.name}"
 
-    def solve(self, app: str, dim: int, mode: str, timeout_s: float) -> dict:
+    def solve(
+        self,
+        app: str,
+        dim: int,
+        mode: str,
+        timeout_s: float,
+        deadline_s: float | None = None,
+    ) -> dict:
         """Submit through the server's queue; normalise to the HTTP payload."""
-        result = self.server.solve(app, dim, mode=mode, timeout=timeout_s)
+        result = self.server.solve(
+            app,
+            dim,
+            mode=mode,
+            timeout=None if deadline_s is not None else timeout_s,
+            deadline_s=deadline_s,
+        )
         return {"app": app, "dim": dim, **_answer_payload(result)}
 
     def metrics(self, timeout_s: float = 10.0) -> dict:
@@ -355,6 +411,8 @@ def run_loadgen(
         "completed": 0,
         "rejected": 0,
         "failed": 0,
+        "deadline_expired": 0,
+        "retries": 0,
         "mismatches": 0,
         "skipped_verification": 0,
     }
@@ -371,6 +429,56 @@ def run_loadgen(
 
     schedule_start = time.perf_counter()
 
+    def attempt_request(app: str, dim: int) -> tuple[dict | None, float]:
+        """Fire one request with bounded backpressure retries.
+
+        Returns ``(answer, latency_s)`` on success and ``(None, 0.0)``
+        after recording the terminal outcome.  Only 429/backpressure is
+        retried — with jittered exponential backoff so synchronised clients
+        de-synchronise — because shed load is explicitly transient; a 504
+        (deadline) is terminal by definition and anything else is a real
+        failure.
+        """
+        attempt = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                answer = target.solve(
+                    app,
+                    dim,
+                    config.mode,
+                    config.timeout_s,
+                    deadline_s=config.deadline_s,
+                )
+                return answer, time.perf_counter() - t0
+            except Exception as error:  # noqa: BLE001 - recorded, not raised
+                status = getattr(error, "status", None)
+                deadline = status == 504 or isinstance(error, DeadlineError)
+                backpressure = not deadline and (
+                    status == 429 or isinstance(error, BackpressureError)
+                )
+                if backpressure and attempt < config.retries:
+                    attempt += 1
+                    with stats_lock:
+                        outcomes["retries"] += 1
+                    delay = min(
+                        RETRY_CAP_S, config.retry_base_s * (2 ** (attempt - 1))
+                    )
+                    time.sleep(delay * (1.0 + 0.5 * random.random()))
+                    continue
+                with stats_lock:
+                    if deadline:
+                        outcomes["deadline_expired"] += 1
+                        if len(errors) < 10:
+                            errors.append(str(error))
+                    elif backpressure:
+                        outcomes["rejected"] += 1
+                    else:
+                        outcomes["failed"] += 1
+                        if len(errors) < 10:
+                            errors.append(str(error))
+                return None, 0.0
+
     def client_loop() -> None:
         """One client thread: claim, pace (open loop), fire, verify."""
         while True:
@@ -382,23 +490,9 @@ def run_loadgen(
                 delay = schedule_start + offset_s - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
-            t0 = time.perf_counter()
-            try:
-                answer = target.solve(app, dim, config.mode, config.timeout_s)
-            except Exception as error:  # noqa: BLE001 - recorded, not raised
-                status = getattr(error, "status", None)
-                backpressure = status == 429 or isinstance(
-                    error, BackpressureError
-                )
-                with stats_lock:
-                    if backpressure:
-                        outcomes["rejected"] += 1
-                    else:
-                        outcomes["failed"] += 1
-                        if len(errors) < 10:
-                            errors.append(str(error))
+            answer, latency = attempt_request(app, dim)
+            if answer is None:
                 continue
-            latency = time.perf_counter() - t0
             with stats_lock:
                 latencies.append(latency)
                 outcomes["completed"] += 1
@@ -433,6 +527,8 @@ def run_loadgen(
             f"loadgen: {outcomes['completed']}/{total} completed in "
             f"{wall_s:.2f}s ({outcomes['completed'] / wall_s:.1f} req/s), "
             f"{outcomes['rejected']} rejected, {outcomes['failed']} failed, "
+            f"{outcomes['deadline_expired']} deadline-expired, "
+            f"{outcomes['retries']} retries, "
             f"{outcomes['mismatches']} mismatches, "
             f"{outcomes['skipped_verification']} unverified"
         )
@@ -455,6 +551,8 @@ def run_loadgen(
             "clients": config.clients,
             "rate_rps": config.rate_rps,
             "mode": config.mode,
+            "deadline_s": config.deadline_s,
+            "retry_limit": config.retries,
             "loop": "open" if open_loop else "closed",
             "trace": dict(trace.meta) if trace is not None else None,
             "python": sys.version.split()[0],

@@ -71,6 +71,7 @@ class ServerMetrics:
         self.failed = 0
         self.cancelled = 0
         self.in_flight = 0
+        self.deadline_expired = 0
 
     # ------------------------------------------------------------------
     def record_accepted(self) -> None:
@@ -113,6 +114,22 @@ class ServerMetrics:
             if latency_s is not None:
                 self._latencies_s.append(latency_s)
 
+    def record_deadline_expired(self, latency_s: float | None) -> None:
+        """One admitted request missed its deadline (typed 504 failure).
+
+        Counts as a failure *and* increments the dedicated
+        ``deadline_expired`` counter in the same lock acquisition, so the
+        ``accepted == completed + failed + cancelled + in_flight`` invariant
+        is preserved while the chaos gate can still see deadline misses
+        separately.
+        """
+        with self._lock:
+            self.failed += 1
+            self.deadline_expired += 1
+            self.in_flight -= 1
+            if latency_s is not None:
+                self._latencies_s.append(latency_s)
+
     def record_cancelled(self) -> None:
         """One admitted request was abandoned by its waiter and skipped.
 
@@ -151,6 +168,7 @@ class ServerMetrics:
         queue_high_water: int | None = None,
         caches: dict | None = None,
         cache: dict | None = None,
+        supervisor: dict | None = None,
     ) -> dict:
         """JSON-safe view of everything collected so far.
 
@@ -161,6 +179,8 @@ class ServerMetrics:
         (:meth:`repro.cache.ResultCache.info`); it is always present in the
         snapshot — ``None`` when no ``--cache-dir`` is configured — so
         artifact consumers can distinguish "cache off" from "old schema".
+        ``supervisor`` is the shard supervisor's :meth:`info` (shard states,
+        restarts, re-dispatches, faults survived); included when provided.
         """
         with self._lock:
             uptime = self.uptime_s
@@ -175,6 +195,7 @@ class ServerMetrics:
                     "failed": self.failed,
                     "cancelled": self.cancelled,
                     "in_flight": self.in_flight,
+                    "deadline_expired": self.deadline_expired,
                 },
                 "queue": {
                     "depth": queue_depth,
@@ -196,4 +217,6 @@ class ServerMetrics:
         snapshot["cache"] = cache
         if caches is not None:
             snapshot["caches"] = caches
+        if supervisor is not None:
+            snapshot["supervisor"] = supervisor
         return snapshot

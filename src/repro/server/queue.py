@@ -19,11 +19,12 @@ work across the whole group.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.exceptions import BackpressureError, ServerError
+from repro.core.exceptions import BackpressureError, DeadlineError, ServerError
 
 #: Hashable request signature: ``(app, dim, mode, sorted plan overrides)``.
 Signature = tuple
@@ -61,6 +62,8 @@ class ServeRequest:
     mode: str | None
     plan_kwargs: dict
     enqueued_at: float
+    #: Absolute ``time.perf_counter()`` deadline; ``None`` means unbounded.
+    deadline_at: float | None = None
     signature: Signature = field(default=None)  # type: ignore[assignment]
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: Any = field(default=None, repr=False)
@@ -89,6 +92,21 @@ class ServeRequest:
         """True once the waiter abandoned the request (best-effort)."""
         return self._cancelled
 
+    @property
+    def expired(self) -> bool:
+        """True once the request's deadline (if any) has passed."""
+        return (
+            self.deadline_at is not None
+            and time.perf_counter() > self.deadline_at
+        )
+
+    @property
+    def remaining_s(self) -> float | None:
+        """Seconds left until the deadline (``None`` when unbounded)."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - time.perf_counter())
+
     def cancel(self) -> bool:
         """Mark the request abandoned; return whether it was still pending.
 
@@ -114,10 +132,24 @@ class ServeRequest:
     def result(self, timeout: float | None = None) -> Any:
         """Block until the request completes; return or re-raise its outcome.
 
-        Raises :class:`~repro.core.exceptions.ServerError` when ``timeout``
-        expires first.
+        With ``timeout=None`` the wait is bounded by the request's own
+        deadline (plus a short grace for the server to deliver the typed
+        failure first): a deadline-carrying ticket raises
+        :class:`~repro.core.exceptions.DeadlineError` instead of blocking
+        forever.  An explicit ``timeout`` that expires first raises
+        :class:`~repro.core.exceptions.ServerError`.
         """
-        if not self._done.wait(timeout):
+        if timeout is None and self.deadline_at is not None:
+            # Grace of 0.25s: the scheduler fails expired tickets with the
+            # typed DeadlineError; this local fallback only fires when the
+            # server never answered at all.
+            remaining = self.deadline_at + 0.25 - time.perf_counter()
+            if not self._done.wait(max(0.0, remaining)):
+                raise DeadlineError(
+                    f"request {self.app}[dim={self.dim}] missed its deadline "
+                    "and the server delivered no response"
+                )
+        elif not self._done.wait(timeout):
             raise ServerError(
                 f"request {self.app}[dim={self.dim}] did not complete "
                 f"within {timeout:g}s"

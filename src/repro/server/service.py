@@ -35,16 +35,26 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.core.exceptions import BackpressureError, ServerError
+from repro.core.exceptions import (
+    BackpressureError,
+    DeadlineError,
+    ServerError,
+    ShardUnavailableError,
+)
+from repro.server.faults import FaultPlan
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import RequestQueue, ServeRequest
+from repro.server.supervisor import ShardSupervisor, SupervisorConfig
 from repro.session import Session
 
 #: Default bound of the request queue (admission control).
 DEFAULT_QUEUE_CAPACITY = 64
 #: Default maximum number of same-signature requests served per batch.
 DEFAULT_MAX_BATCH = 8
+#: Default per-request deadline (seconds) when the client sends none.
+DEFAULT_DEADLINE_S = 30.0
 #: How long an idle scheduler worker waits before re-checking for shutdown.
 _IDLE_WAIT_S = 0.05
 
@@ -59,12 +69,23 @@ class ServerConfig:
     the number of scheduler threads (more than one only overlaps planning —
     the session's run lock serialises grid execution); ``drain_timeout_s``
     bounds how long :meth:`ReproServer.close` waits for in-flight work.
+
+    ``default_deadline_s`` is the per-request deadline applied when the
+    client sends none (``None`` disables the default — requests without an
+    explicit deadline then wait unboundedly); ``shards`` is the number of
+    supervised worker shards (1 = the degenerate in-thread shard sharing
+    the server's session); ``degraded_fallback`` makes the scheduler solve
+    directly on the server's session when every shard is unavailable,
+    instead of shedding the request with 429.
     """
 
     queue_capacity: int = DEFAULT_QUEUE_CAPACITY
     max_batch: int = DEFAULT_MAX_BATCH
     workers: int = 1
     drain_timeout_s: float = 30.0
+    default_deadline_s: float | None = DEFAULT_DEADLINE_S
+    shards: int = 1
+    degraded_fallback: bool = False
 
     def __post_init__(self) -> None:
         """Validate the knobs once, at construction."""
@@ -76,6 +97,13 @@ class ServerConfig:
             raise ServerError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.workers < 1:
             raise ServerError(f"workers must be >= 1, got {self.workers}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ServerError(
+                f"default_deadline_s must be > 0 or None, "
+                f"got {self.default_deadline_s}"
+            )
+        if self.shards < 1:
+            raise ServerError(f"shards must be >= 1, got {self.shards}")
 
 
 class ReproServer:
@@ -99,6 +127,9 @@ class ReproServer:
         config: ServerConfig | None = None,
         *,
         own_session: bool = False,
+        session_factory: Callable[[int], Session] | None = None,
+        supervisor_config: SupervisorConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.session = session
         self.config = config if config is not None else ServerConfig()
@@ -109,6 +140,20 @@ class ReproServer:
         self._lifecycle = threading.Lock()
         self._started = False
         self._closed = False
+        # Every execution goes through the supervisor.  With shards == 1 and
+        # no factory this is the degenerate in-thread shard borrowing the
+        # server's own session — same execution semantics as before, but the
+        # supervision/chaos path is always exercised.  A factory builds one
+        # session per shard (share a warmed tuner and one ResultCache across
+        # them so re-dispatches coalesce); `session` stays the degraded
+        # fallback and the metrics/cache-info source either way.
+        self.supervisor = ShardSupervisor(
+            session=None if session_factory is not None else session,
+            shards=self.config.shards,
+            session_factory=session_factory,
+            config=supervisor_config,
+            fault_plan=fault_plan,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -120,6 +165,7 @@ class ReproServer:
                 raise ServerError("cannot start a closed server")
             if self._started:
                 return self
+            self.supervisor.start()
             for index in range(self.config.workers):
                 thread = threading.Thread(
                     target=self._worker_loop,
@@ -178,6 +224,7 @@ class ReproServer:
         for thread in self._threads:
             thread.join(timeout=self.config.drain_timeout_s)
         self._threads.clear()
+        self.supervisor.close()
         if self._own_session:
             self.session.close()
 
@@ -201,22 +248,42 @@ class ReproServer:
         app: str,
         dim: int | None = None,
         mode: str | None = None,
+        deadline_s: float | None = None,
         **plan_kwargs,
     ) -> ServeRequest:
         """Admit one request; return its ticket immediately.
 
         Raises :class:`~repro.core.exceptions.BackpressureError` when the
-        queue is full and :class:`~repro.core.exceptions.ServerError` once
-        the server is shutting down.  ``plan_kwargs`` forward to
+        queue is full (including its :class:`~repro.core.exceptions.\
+ShardUnavailableError` subclass when every shard's restart budget is
+        exhausted and no degraded fallback is configured — shedding early
+        beats queueing into a black hole) and
+        :class:`~repro.core.exceptions.ServerError` once the server is
+        shutting down.  ``deadline_s`` bounds the request end-to-end
+        (default: the config's ``default_deadline_s``; pass ``0`` or a
+        negative value to wait unboundedly).  ``plan_kwargs`` forward to
         :meth:`repro.session.Session.plan` (backend/engine/workers/app
         constructor overrides).
         """
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.perf_counter()
+        deadline_at = (
+            now + deadline_s if deadline_s is not None and deadline_s > 0 else None
+        )
+        if self.supervisor.circuit_open and not self.config.degraded_fallback:
+            self.metrics_store.record_rejected()
+            raise ShardUnavailableError(
+                "no healthy shard available (restart budgets exhausted); "
+                "shedding load — retry later"
+            )
         request = ServeRequest(
             app=app,
             dim=dim,
             mode=mode,
             plan_kwargs=dict(plan_kwargs),
-            enqueued_at=time.perf_counter(),
+            enqueued_at=now,
+            deadline_at=deadline_at,
         )
         # Count acceptance BEFORE the request becomes visible to workers, so
         # a fast completion can never be recorded ahead of it (in_flight
@@ -242,10 +309,17 @@ class ReproServer:
         dim: int | None = None,
         mode: str | None = None,
         timeout: float | None = None,
+        deadline_s: float | None = None,
         **plan_kwargs,
     ):
-        """Submit and block for the result (the synchronous convenience)."""
-        return self.submit(app, dim, mode, **plan_kwargs).result(timeout)
+        """Submit and block for the result (the synchronous convenience).
+
+        With ``timeout=None`` the wait is bounded by the request deadline
+        (explicit ``deadline_s`` or the config default) — no more hard-coded
+        client-side timeouts racing the server's own deadline handling.
+        """
+        ticket = self.submit(app, dim, mode, deadline_s=deadline_s, **plan_kwargs)
+        return ticket.result(timeout)
 
     # ------------------------------------------------------------------
     # Observability
@@ -262,7 +336,26 @@ class ReproServer:
                 if self.session.result_cache is not None
                 else None
             ),
+            supervisor=self.supervisor.info(),
         )
+
+    def readiness(self) -> dict:
+        """The ``GET /readyz`` payload: per-shard state and degraded mode.
+
+        ``ready`` is true while at least one shard is healthy *or* the
+        degraded fallback can still answer requests on the server's own
+        session; external probes should route traffic away on 503.
+        """
+        info = self.supervisor.info()
+        degraded = info["circuit_open"] and self.config.degraded_fallback
+        return {
+            "ready": self.running and (info["ready"] or degraded),
+            "running": self.running,
+            "degraded": degraded,
+            "shards": info["shards"],
+            "restarts": info["restarts"],
+            "circuit_open": info["circuit_open"],
+        }
 
     # ------------------------------------------------------------------
     # Scheduler workers
@@ -295,12 +388,71 @@ class ReproServer:
             if request.cancelled:
                 request.fail(ServerError("request was cancelled by its client"))
                 self.metrics_store.record_cancelled()
+            elif request.expired:
+                # The deadline passed while the request sat in the queue:
+                # fail it typed instead of executing work nobody can use.
+                request.fail(
+                    DeadlineError(
+                        f"request {request.app}[dim={request.dim}] expired "
+                        "in the queue before execution"
+                    )
+                )
+                self.metrics_store.record_deadline_expired(None)
             else:
                 live.append(request)
         if not live:
             return
         batch = live
         self.metrics_store.record_batch(len(batch))
+        # The strictest deadline in the batch bounds the shared execution;
+        # coalesced peers are identical apart from their deadlines, so the
+        # tightest one is the only one that can expire first.
+        deadlines = [r.deadline_at for r in batch if r.deadline_at is not None]
+        deadline_at = min(deadlines) if deadlines else None
+        try:
+            result = self.supervisor.execute(
+                batch[0].as_request(),
+                mode=batch[0].mode,
+                deadline_at=deadline_at,
+                signature=batch[0].signature,
+                count=len(batch),
+            )
+        except DeadlineError as error:
+            now = time.perf_counter()
+            for request in batch:
+                request.fail(error)
+                self.metrics_store.record_deadline_expired(
+                    now - request.enqueued_at
+                )
+            return
+        except ShardUnavailableError as error:
+            if self.config.degraded_fallback:
+                self._serve_degraded(batch)
+                return
+            now = time.perf_counter()
+            for request in batch:
+                request.fail(error)
+                self.metrics_store.record_failed(now - request.enqueued_at)
+            return
+        except Exception as error:  # noqa: BLE001 - delivered to the client
+            now = time.perf_counter()
+            for request in batch:
+                request.fail(error)
+                self.metrics_store.record_failed(now - request.enqueued_at)
+            return
+        now = time.perf_counter()
+        for request in batch:
+            request.complete(result)
+            self.metrics_store.record_completed(now - request.enqueued_at)
+
+    def _serve_degraded(self, batch: list[ServeRequest]) -> None:
+        """Answer one batch directly on the server's session (last resort).
+
+        Graceful degradation: every shard is dead, but going dark is worse
+        than serving slowly — solve in the scheduler thread on the borrowed
+        session.  Deterministic execution keeps the response bit-exact with
+        what a shard would have produced.
+        """
         try:
             result = self.session.solve_many(
                 [batch[0].as_request()], mode=batch[0].mode

@@ -1,0 +1,694 @@
+"""Shard supervision for the serving layer: heartbeats, restarts, re-dispatch.
+
+The hardest part of sharded serving is not the fan-out but surviving it: a
+shard that dies mid-solve must not take the service down or lose the
+request.  :class:`ShardSupervisor` owns N worker :class:`Shard` lanes (each
+hosting its own :class:`~repro.session.Session` and executing
+:class:`ShardTask` work items from a signature-routed inbox) plus one
+monitor thread, and guarantees:
+
+* **crash detection** — a shard is declared crashed when its loop raises
+  :class:`~repro.core.exceptions.ShardCrashError` (injected kill) or
+  :class:`~repro.core.exceptions.WorkerCrashError` (a broken
+  multiprocessing pool under the session), when an idle shard misses its
+  heartbeats, or when an executing shard hangs past the in-flight request's
+  deadline plus a grace period;
+* **automatic restart** — a crashed shard restarts under jittered
+  exponential backoff; a restart-budget circuit breaker (too many crashes
+  inside a sliding window) declares the shard ``dead`` instead of
+  restarting it forever;
+* **bounded re-dispatch** — the in-flight task of a crashed shard is
+  re-dispatched (up to ``max_redispatch`` extra attempts) to a healthy
+  shard, or back into the restarting shard's inbox when it is the only
+  lane.  At-most-once *divergence* is enforced by construction: solving is
+  deterministic and, when the shards share one persistent
+  :class:`repro.cache.ResultCache`, retried requests coalesce on the
+  cache's leader/follower keys so a retry never double-solves;
+* **deadline enforcement** — :meth:`ShardSupervisor.execute` never blocks
+  past the request deadline: an unanswered task fails with a typed
+  :class:`~repro.core.exceptions.DeadlineError` (HTTP 504), which is also
+  how a chaos ``drop`` fault (response discarded after solving) resolves.
+
+The degenerate configuration — one in-thread shard borrowing the server's
+session — is the default, so a 1-core CI host exercises every code path:
+dispatch, heartbeats, crash, backoff, restart, re-dispatch and circuit
+breaking all behave identically at N=1.  Chaos injection
+(:mod:`repro.server.faults`) hooks the shard loop between dequeue and
+execution, which is what keeps injected kills at-most-once: the fault
+fires *before* any solve starts.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.exceptions import (
+    DeadlineError,
+    ServerError,
+    ShardCrashError,
+    ShardUnavailableError,
+    WorkerCrashError,
+)
+from repro.server.faults import FaultInjector, FaultPlan
+from repro.session import Session
+
+#: Extra seconds a waiter allows past the deadline before failing the task,
+#: absorbing scheduler wake-up latency without weakening the guarantee.
+DEADLINE_GRACE_S = 0.1
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs of one :class:`ShardSupervisor`.
+
+    ``heartbeat_interval_s`` paces both the shard beats and the monitor;
+    an *idle* shard missing ``missed_heartbeats`` consecutive beats is
+    declared crashed, an *executing* shard only once its current task's
+    deadline is exceeded by ``hang_grace_s`` (so long legitimate solves are
+    never penalised).  Restart delays grow as
+    ``backoff_base_s * 2^(consecutive crashes - 1)`` capped at
+    ``backoff_cap_s``, with up to ``backoff_jitter`` relative jitter; more
+    than ``restart_budget`` crashes inside ``restart_window_s`` trip the
+    circuit breaker (shard state ``dead``).  ``max_redispatch`` bounds how
+    many *extra* attempts a crashed shard's in-flight task gets.
+    """
+
+    heartbeat_interval_s: float = 0.1
+    missed_heartbeats: int = 5
+    hang_grace_s: float = 0.5
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.25
+    restart_budget: int = 5
+    restart_window_s: float = 30.0
+    max_redispatch: int = 2
+
+    def __post_init__(self) -> None:
+        """Validate the knobs once, at construction."""
+        if self.heartbeat_interval_s <= 0:
+            raise ServerError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.missed_heartbeats < 1:
+            raise ServerError(
+                f"missed_heartbeats must be >= 1, got {self.missed_heartbeats}"
+            )
+        for name in ("hang_grace_s", "backoff_base_s", "backoff_cap_s"):
+            if getattr(self, name) < 0:
+                raise ServerError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.backoff_jitter < 0:
+            raise ServerError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}"
+            )
+        if self.restart_budget < 0:
+            raise ServerError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.restart_window_s <= 0:
+            raise ServerError(
+                f"restart_window_s must be > 0, got {self.restart_window_s}"
+            )
+        if self.max_redispatch < 0:
+            raise ServerError(
+                f"max_redispatch must be >= 0, got {self.max_redispatch}"
+            )
+
+
+class ShardTask:
+    """One unit of shard work: a coalesced batch's single execution.
+
+    Created by :meth:`ShardSupervisor.execute`, carried through a shard
+    inbox, possibly re-dispatched after a crash.  ``request`` is the
+    :meth:`repro.session.Session.solve_many` mapping of the batch head;
+    ``count`` is the number of coalesced client requests it answers (the
+    fault injector advances its request ordinal by this much).  Exactly one
+    of result/error is delivered; a chaos ``drop`` fault delivers neither,
+    leaving the waiter to fail at its deadline.
+    """
+
+    __slots__ = (
+        "request",
+        "mode",
+        "deadline_at",
+        "signature",
+        "count",
+        "attempts",
+        "abandoned",
+        "dropped",
+        "_done",
+        "_result",
+        "_error",
+    )
+
+    def __init__(
+        self,
+        request: dict,
+        mode: str | None,
+        deadline_at: float | None,
+        signature: Any = None,
+        count: int = 1,
+    ) -> None:
+        self.request = request
+        self.mode = mode
+        self.deadline_at = deadline_at
+        self.signature = signature
+        self.count = max(1, int(count))
+        #: Executions started (first dispatch + re-dispatches).
+        self.attempts = 0
+        #: Set by the waiter at deadline so a queued task is skipped.
+        self.abandoned = False
+        #: Set when a chaos drop fault discarded the computed response.
+        self.dropped = False
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once a result or error was delivered."""
+        return self._done.is_set()
+
+    @property
+    def expired(self) -> bool:
+        """True once the task's deadline (if any) has passed."""
+        return (
+            self.deadline_at is not None
+            and time.perf_counter() > self.deadline_at
+        )
+
+    def complete(self, result: Any) -> None:
+        """Deliver the execution result and wake the waiter."""
+        self._result = result
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Deliver a failure and wake the waiter."""
+        self._error = error
+        self._done.set()
+
+    def wait(self) -> bool:
+        """Block until resolved or the deadline (+grace) passes.
+
+        Returns ``True`` when the task resolved in time; ``False`` means
+        the deadline expired with no response (crash re-dispatch could not
+        finish in time, or a drop fault discarded the answer).
+        """
+        if self.deadline_at is None:
+            self._done.wait()
+            return True
+        remaining = self.deadline_at + DEADLINE_GRACE_S - time.perf_counter()
+        return self._done.wait(max(0.0, remaining))
+
+    def outcome(self) -> Any:
+        """The delivered result, or re-raise the delivered error."""
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class Shard:
+    """One supervised worker lane: a session, an inbox and a beat clock.
+
+    The shard thread loops dequeue → chaos hooks → execute → deliver,
+    beating ``last_beat`` between tasks.  All mutable state (inbox,
+    ``current`` task, ``state``, ``epoch``) is guarded by one condition;
+    the ``epoch`` counter retires superseded threads — a thread that wakes
+    from a hang after the monitor already restarted the shard observes a
+    stale epoch and exits without touching anything.
+
+    States: ``healthy`` (thread serving), ``restarting`` (crashed, waiting
+    out its backoff), ``dead`` (restart budget exhausted — circuit open).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        session: Session,
+        supervisor: "ShardSupervisor",
+        owns_session: bool,
+    ) -> None:
+        self.index = index
+        self.session = session
+        self.supervisor = supervisor
+        self.owns_session = owns_session
+        self.state = "restarting"  # becomes healthy on first start()
+        self.epoch = 0
+        self.inbox: deque[ShardTask] = deque()
+        self.current: ShardTask | None = None
+        self.last_beat = time.perf_counter()
+        self.restart_at = 0.0
+        self.consecutive_crashes = 0
+        self.crash_times: deque[float] = deque()
+        self.restarts = 0
+        self.crashes = 0
+        self.dropped = 0
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn (or respawn) the shard thread under a fresh epoch."""
+        with self._cond:
+            if self._closed:
+                return
+            self.epoch += 1
+            self.state = "healthy"
+            self.last_beat = time.perf_counter()
+            epoch = self.epoch
+            self._thread = threading.Thread(
+                target=self._loop,
+                args=(epoch,),
+                name=f"repro-shard-{self.index}-e{epoch}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def dispatch(self, task: ShardTask, front: bool = False) -> None:
+        """Queue one task; ``front`` puts a re-dispatched task first."""
+        with self._cond:
+            if self._closed or self.state == "dead":
+                raise ShardUnavailableError(
+                    f"shard {self.index} is {'closed' if self._closed else 'dead'}"
+                )
+            if front:
+                self.inbox.appendleft(task)
+            else:
+                self.inbox.append(task)
+            self._cond.notify()
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of this shard for readiness and metrics pages."""
+        with self._cond:
+            return {
+                "index": self.index,
+                "state": self.state,
+                "restarts": self.restarts,
+                "crashes": self.crashes,
+                "queued": len(self.inbox),
+                "in_flight": self.current is not None,
+                "dropped_responses": self.dropped,
+            }
+
+    def close(self) -> None:
+        """Retire the thread and fail every unanswered task."""
+        with self._cond:
+            self._closed = True
+            self.epoch += 1  # retire any live or hung thread
+            stranded = list(self.inbox)
+            self.inbox.clear()
+            if self.current is not None:
+                stranded.append(self.current)
+                self.current = None
+            self._cond.notify_all()
+            thread = self._thread
+        error = ServerError("shard shut down before the request completed")
+        for task in stranded:
+            if not task.done:
+                task.fail(error)
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=2.0)
+        if self.owns_session:
+            self.session.close()
+
+    # ------------------------------------------------------------------
+    def _loop(self, epoch: int) -> None:
+        """Serve inbox tasks until superseded or closed, beating in between."""
+        interval = self.supervisor.config.heartbeat_interval_s / 2
+        while True:
+            with self._cond:
+                if self.epoch != epoch or self._closed:
+                    return
+                self.last_beat = time.perf_counter()
+                if not self.inbox:
+                    self._cond.wait(interval)
+                    continue
+                task = self.inbox.popleft()
+                if task.abandoned or task.done:
+                    continue
+                self.current = task
+            try:
+                self._execute(task, epoch)
+            except (ShardCrashError, WorkerCrashError) as crash:
+                self.supervisor._on_crash(self, task, crash, epoch)
+                return
+            finally:
+                with self._cond:
+                    if self.epoch == epoch:
+                        self.current = None
+                        self.last_beat = time.perf_counter()
+
+    def _stale(self, epoch: int) -> bool:
+        """True when this thread was superseded by a restart."""
+        with self._cond:
+            return self.epoch != epoch or self._closed
+
+    def _execute(self, task: ShardTask, epoch: int) -> None:
+        """Run one task through the chaos hooks and the session."""
+        task.attempts += 1
+        faults = self.supervisor.injector.take(task.count)
+        drop = any(fault.kind == "drop" for fault in faults)
+        kill = next((fault for fault in faults if fault.kind == "kill"), None)
+        for fault in faults:
+            if fault.kind in ("slow", "hang"):
+                time.sleep(fault.sleep_s)
+        if self._stale(epoch):
+            # A hang outlived this thread: the monitor restarted the shard
+            # and re-dispatched the task — leave it to the new epoch.
+            return
+        if kill is not None:
+            raise ShardCrashError(
+                f"chaos kill fault on shard {self.index} "
+                f"(request ordinal {kill.at})"
+            )
+        if task.expired:
+            task.fail(
+                DeadlineError(
+                    f"request {task.request.get('app')!r} expired in the "
+                    f"shard inbox before execution"
+                )
+            )
+            return
+        try:
+            result = self.session.solve_many(
+                [task.request], mode=task.mode, deadline_at=task.deadline_at
+            )[0]
+        except (ShardCrashError, WorkerCrashError):
+            raise  # shard-level crash: handled by the loop / supervisor
+        except Exception as error:  # noqa: BLE001 - delivered to the waiter
+            task.fail(error)
+            return
+        if self._stale(epoch):
+            return
+        if drop:
+            # Chaos: the work happened, the response vanishes.  The waiter
+            # resolves the ticket at its deadline with DeadlineError.
+            task.dropped = True
+            with self._cond:
+                self.dropped += 1
+            return
+        task.complete(result)
+
+
+class ShardSupervisor:
+    """Owner of N supervised shards and the monitor that keeps them alive.
+
+    Construct with either a shared ``session`` (every shard borrows it —
+    the degenerate in-thread configuration, correct because executions
+    serialise on the session's run lock) or a ``session_factory`` building
+    one session per shard index (the sharded configuration; give the
+    factory sessions one shared :class:`repro.cache.ResultCache` so
+    re-dispatched requests stay at-most-once across shards).  The
+    supervisor closes factory-built sessions on :meth:`close` and never
+    closes a borrowed one.
+    """
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        *,
+        shards: int = 1,
+        session_factory: Callable[[int], Session] | None = None,
+        config: SupervisorConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ServerError(f"shards must be >= 1, got {shards}")
+        if session is None and session_factory is None:
+            raise ServerError(
+                "ShardSupervisor needs a session or a session_factory"
+            )
+        self.config = config if config is not None else SupervisorConfig()
+        self.injector = FaultInjector(
+            plan=fault_plan if fault_plan is not None else FaultPlan()
+        )
+        self._rng = random.Random()
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._monitor: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
+        self.redispatches = 0
+        self.shards: list[Shard] = []
+        for index in range(int(shards)):
+            if session_factory is not None:
+                shard_session = session_factory(index)
+                owns = True
+            else:
+                shard_session = session  # type: ignore[assignment]
+                owns = False
+            self.shards.append(Shard(index, shard_session, self, owns))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardSupervisor":
+        """Start every shard thread and the monitor; idempotent."""
+        with self._lock:
+            if self._closed:
+                raise ServerError("cannot start a closed supervisor")
+            if self._started:
+                return self
+            self._started = True
+        for shard in self.shards:
+            shard.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-shard-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the monitor, retire every shard, fail unanswered tasks."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        for shard in self.shards:
+            shard.close()
+
+    @property
+    def ready(self) -> bool:
+        """True while at least one shard is healthy."""
+        return any(shard.state == "healthy" for shard in self.shards)
+
+    @property
+    def circuit_open(self) -> bool:
+        """True once every shard is dead (restart budgets exhausted)."""
+        return all(shard.state == "dead" for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        request: dict,
+        mode: str | None = None,
+        deadline_at: float | None = None,
+        signature: Any = None,
+        count: int = 1,
+    ):
+        """Run one (batch-head) request on a shard; block for the outcome.
+
+        Routes by signature hash so equal-signature streams keep hitting
+        one shard's warm caches, falling back to the next healthy lane.
+        Raises :class:`~repro.core.exceptions.DeadlineError` when the
+        deadline passes unanswered — the caller decides whether that fails
+        the batch or triggers degraded fallback — and
+        :class:`~repro.core.exceptions.ShardUnavailableError` when no lane
+        can accept work at all.
+        """
+        task = ShardTask(request, mode, deadline_at, signature, count)
+        self._pick_shard(signature).dispatch(task)
+        if task.wait():
+            return task.outcome()
+        task.abandoned = True  # a still-queued task is skipped, not run late
+        raise DeadlineError(
+            f"request {request.get('app')!r} missed its deadline after "
+            f"{task.attempts} execution attempt(s)"
+            + (" (response dropped)" if task.dropped else "")
+        )
+
+    def _pick_shard(self, signature: Any) -> Shard:
+        """The dispatch target: preferred healthy lane, else any viable one."""
+        n = len(self.shards)
+        preferred = (hash(signature) % n) if signature is not None else 0
+        order = [self.shards[(preferred + i) % n] for i in range(n)]
+        for shard in order:
+            if shard.state == "healthy":
+                return shard
+        for shard in order:
+            if shard.state == "restarting":
+                # Queue behind the restart: the task runs once the backoff
+                # elapses, bounded by its own deadline either way.
+                return shard
+        raise ShardUnavailableError(
+            "no shard can accept work: every restart budget is exhausted; "
+            "retry later or reduce the offered load"
+        )
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def _on_crash(
+        self,
+        shard: Shard,
+        task: ShardTask | None,
+        error: BaseException,
+        epoch: int,
+    ) -> None:
+        """Handle one shard crash: retire, back off or trip, re-dispatch."""
+        now = time.perf_counter()
+        with shard._cond:
+            if shard.epoch != epoch or shard._closed:
+                return  # already handled (monitor and loop can race here)
+            shard.epoch += 1  # retire the crashed/hung thread
+            shard.current = None
+            shard.crashes += 1
+            shard.consecutive_crashes += 1
+            shard.crash_times.append(now)
+            window = self.config.restart_window_s
+            while shard.crash_times and shard.crash_times[0] < now - window:
+                shard.crash_times.popleft()
+            if len(shard.crash_times) > self.config.restart_budget:
+                shard.state = "dead"
+                stranded = list(shard.inbox)
+                shard.inbox.clear()
+            else:
+                shard.state = "restarting"
+                shard.restart_at = now + self._backoff_delay(
+                    shard.consecutive_crashes
+                )
+                stranded = []
+        breaker = ShardUnavailableError(
+            f"shard {shard.index} exceeded its restart budget "
+            f"({self.config.restart_budget} crashes per "
+            f"{self.config.restart_window_s:g}s)"
+        )
+        for queued in stranded:
+            if not queued.done:
+                queued.fail(breaker)
+        if task is not None and not task.done:
+            self._redispatch(task, shard, error)
+
+    def _backoff_delay(self, consecutive: int) -> float:
+        """Jittered exponential restart delay for the Nth consecutive crash."""
+        base = self.config.backoff_base_s * (2 ** max(0, consecutive - 1))
+        delay = min(self.config.backoff_cap_s, base)
+        return delay * (1.0 + self.config.backoff_jitter * self._rng.random())
+
+    def _redispatch(
+        self, task: ShardTask, crashed: Shard, error: BaseException
+    ) -> None:
+        """Give a crashed shard's in-flight task its bounded second chance."""
+        if task.abandoned or task.expired:
+            task.fail(
+                DeadlineError(
+                    f"request {task.request.get('app')!r} crashed with its "
+                    f"shard and its deadline passed before re-dispatch"
+                )
+            )
+            return
+        if task.attempts > self.config.max_redispatch:
+            task.fail(
+                ShardCrashError(
+                    f"request {task.request.get('app')!r} failed "
+                    f"{task.attempts} times on crashing shards "
+                    f"(re-dispatch budget {self.config.max_redispatch}): {error}"
+                )
+            )
+            return
+        target = crashed
+        for shard in self.shards:
+            if shard is not crashed and shard.state == "healthy":
+                target = shard
+                break
+        try:
+            target.dispatch(task, front=True)
+        except ShardUnavailableError as unavailable:
+            task.fail(unavailable)
+            return
+        with self._lock:
+            self.redispatches += 1
+
+    # ------------------------------------------------------------------
+    # Monitor
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        """Detect hung/silent shards and restart crashed ones on schedule."""
+        interval = self.config.heartbeat_interval_s
+        while not self._monitor_stop.wait(interval):
+            now = time.perf_counter()
+            for shard in self.shards:
+                self._check_shard(shard, now)
+
+    def _check_shard(self, shard: Shard, now: float) -> None:
+        """One monitor tick for one shard."""
+        with shard._cond:
+            state = shard.state
+            epoch = shard.epoch
+            current = shard.current
+            last_beat = shard.last_beat
+            restart_at = shard.restart_at
+        if state == "restarting":
+            if now >= restart_at and not self._closed:
+                shard.start()
+                with shard._cond:
+                    shard.restarts += 1
+            return
+        if state != "healthy":
+            return
+        config = self.config
+        if current is not None:
+            # An executing shard is only hung once its task's deadline is
+            # exceeded by the grace period — long legitimate solves within
+            # deadline are never penalised.
+            deadline_at = current.deadline_at
+            if deadline_at is not None and now > deadline_at + config.hang_grace_s:
+                self._on_crash(
+                    shard,
+                    current,
+                    ShardCrashError(
+                        f"shard {shard.index} hung past the request deadline"
+                    ),
+                    epoch,
+                )
+            return
+        if now - last_beat > config.missed_heartbeats * config.heartbeat_interval_s:
+            self._on_crash(
+                shard,
+                None,
+                ShardCrashError(
+                    f"shard {shard.index} missed "
+                    f"{config.missed_heartbeats} heartbeats"
+                ),
+                epoch,
+            )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """JSON-safe supervision snapshot for ``/metrics`` and ``/readyz``."""
+        shard_snapshots = [shard.snapshot() for shard in self.shards]
+        faults = self.injector.info()
+        with self._lock:
+            redispatches = self.redispatches
+        return {
+            "shards": shard_snapshots,
+            "restarts": sum(s["restarts"] for s in shard_snapshots),
+            "crashes": sum(s["crashes"] for s in shard_snapshots),
+            "redispatches": redispatches,
+            "faults_injected": faults["injected"],
+            "faults": faults,
+            "ready": self.ready,
+            "circuit_open": self.circuit_open,
+        }

@@ -44,13 +44,14 @@ deprecated shim delegating here.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.apps.base import WavefrontApplication
 from repro.apps.registry import resolve_application
 from repro.autotuner.protocol import PlanDecision, Tuner
 from repro.cache import ResultCache, request_key
-from repro.core.exceptions import CacheError, UsageError
+from repro.core.exceptions import CacheError, DeadlineError, UsageError
 from repro.core.params import TunableParams
 from repro.core.parameter_space import ParameterSpace
 from repro.core.pattern import WavefrontProblem
@@ -428,6 +429,7 @@ class Session:
         self,
         requests: Iterable[Any],
         mode: ExecutionMode | str | None = None,
+        deadline_at: float | None = None,
     ) -> list[ExecutionResult]:
         """Serve a batch of requests, reusing plans, engines and pools.
 
@@ -438,9 +440,20 @@ class Session:
         whole stream) and the multicore backends keep their worker pools
         warm across the batch — the serving behaviour the per-call helpers
         could not offer.
+
+        ``deadline_at`` (an absolute ``time.perf_counter()`` instant) makes
+        the batch deadline-aware: a request whose turn comes after the
+        deadline raises :class:`~repro.core.exceptions.DeadlineError`
+        instead of starting work nobody is waiting for.  A solve already
+        underway runs to completion — compute is not aborted part-way.
         """
         results = []
         for request in requests:
+            if deadline_at is not None and time.perf_counter() > deadline_at:
+                raise DeadlineError(
+                    f"batch deadline expired with {len(results)} of its "
+                    f"requests served; not starting the next one"
+                )
             if isinstance(request, ResolvedPlan):
                 results.append(self.run(request, mode=mode))
             elif isinstance(request, Mapping):

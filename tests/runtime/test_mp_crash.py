@@ -1,0 +1,98 @@
+"""Crash recovery of the multiprocessing backend.
+
+A worker process killed mid-service must surface as a typed
+``WorkerCrashError`` (never a hang or a bare ``BrokenProcessPool``), mark
+the pool broken, and cost exactly one request: the ``EngineHost`` hands
+out a fresh pool on the next borrow and the broken pool's shared-memory
+segment is unlinked, not leaked.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import WorkerCrashError
+from repro.runtime import MPWavefrontPool
+from repro.runtime.compute import reference_grid
+from repro.runtime.lifecycle import EngineHost
+
+HAS_SHM_DIR = os.path.isdir("/dev/shm")
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not HAS_FORK, reason="worker-kill tests need a forking platform"
+)
+
+
+def kill_one_worker(pool):
+    """SIGKILL one live worker process of a bound multiprocess pool.
+
+    ``ProcessPoolExecutor`` spawns its workers lazily, so the pool is
+    warmed with one tiny sweep first — which also proves the kill (not a
+    cold pool) is what breaks the subsequent run.
+    """
+    pool.run_range(0, 0)
+    pid = next(iter(pool._pool._processes))
+    os.kill(pid, signal.SIGKILL)
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_raises_typed_error_not_hang(self, small_synthetic):
+        grid = small_synthetic.make_grid()
+        pool = MPWavefrontPool(small_synthetic, grid, tile=4, workers=2)
+        try:
+            assert pool.is_multiprocess and not pool.broken
+            kill_one_worker(pool)
+            with pytest.raises(WorkerCrashError):
+                pool.run_range(0, 2 * small_synthetic.dim - 2)
+            assert pool.broken
+        finally:
+            pool.close()
+
+    def test_engine_host_replaces_a_broken_pool(self, small_synthetic, i7_2600k):
+        with EngineHost(i7_2600k) as host:
+            pool = host.pool_for(small_synthetic, tile=4, workers=2)
+            grid = small_synthetic.make_grid()
+            pool.bind(grid)
+            kill_one_worker(pool)
+            with pytest.raises(WorkerCrashError):
+                pool.run_range(0, 2 * small_synthetic.dim - 2)
+            pool.release()
+            assert pool.broken
+
+            fresh = host.pool_for(small_synthetic, tile=4, workers=2)
+            assert fresh is not pool
+            assert not fresh.broken
+
+            # The replacement pool serves the next request correctly.
+            grid = small_synthetic.make_grid()
+            fresh.bind(grid)
+            fresh.run_range(0, 2 * small_synthetic.dim - 2)
+            fresh.release()
+            assert np.array_equal(
+                reference_grid(small_synthetic).values, grid.values
+            )
+
+    @pytest.mark.skipif(not HAS_SHM_DIR, reason="needs a /dev/shm to audit")
+    def test_no_shared_memory_segments_leak_after_crash(
+        self, small_synthetic, i7_2600k
+    ):
+        before = set(os.listdir("/dev/shm"))
+        host = EngineHost(i7_2600k)
+        try:
+            pool = host.pool_for(small_synthetic, tile=4, workers=2)
+            grid = small_synthetic.make_grid()
+            pool.bind(grid)
+            kill_one_worker(pool)
+            with pytest.raises(WorkerCrashError):
+                pool.run_range(0, 2 * small_synthetic.dim - 2)
+            pool.release()
+            # Replacing the broken pool closes it (unlinking its segment).
+            host.pool_for(small_synthetic, tile=4, workers=2)
+        finally:
+            host.close()
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

@@ -121,6 +121,51 @@ class TestErrorMapping:
             server.close()
 
 
+class TestFaultTolerantRoutes:
+    def test_readyz_reports_per_shard_state(self, endpoint):
+        body = get_json(endpoint.url + "/readyz")
+        assert body["ready"] is True and body["running"] is True
+        assert body["degraded"] is False
+        assert body["shards"][0]["state"] == "healthy"
+        assert "restarts" in body and "circuit_open" in body
+
+    def test_expired_deadline_maps_to_504(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                endpoint.url + "/solve",
+                {"app": "lcs", "dim": 48, "deadline_s": 1e-6},
+            )
+        assert excinfo.value.code == 504
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "DeadlineError"
+
+    def test_malformed_deadline_maps_to_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                endpoint.url + "/solve",
+                {"app": "lcs", "dim": 48, "deadline_s": "soonish"},
+            )
+        assert excinfo.value.code == 400
+
+    def test_429_carries_a_retry_after_header(self, serve_session):
+        # Same back-door overflow as the backpressure mapping test above.
+        server = ReproServer(serve_session, ServerConfig(queue_capacity=1))
+        ep = ServingEndpoint(server, port=0)
+        thread = threading.Thread(target=ep._httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            server.submit("lcs", 48)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_json(ep.url + "/solve", {"app": "lcs", "dim": 48})
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers.get("Retry-After") == "1"
+        finally:
+            ep._httpd.shutdown()
+            thread.join(timeout=10)
+            server.start()
+            server.close()
+
+
 class TestShutdown:
     def test_post_shutdown_stops_the_accept_loop(self, serve_session):
         server = ReproServer(serve_session, ServerConfig(queue_capacity=8))

@@ -146,3 +146,90 @@ class TestCheckServeGate:
             "--min-completed", "20",
         )
         assert code == 1 and "overhead" in output
+
+
+class FlakyTarget:
+    """A scriptable target: raises the queued errors, then answers."""
+
+    kind = "stub"
+
+    def __init__(self, errors=()):
+        self.errors = list(errors)
+        self.calls = 0
+        self.deadlines_seen = []
+
+    def describe(self):
+        return "flaky-stub"
+
+    def solve(self, app, dim, mode, timeout_s, deadline_s=None):
+        self.calls += 1
+        self.deadlines_seen.append(deadline_s)
+        if self.errors:
+            raise self.errors.pop(0)
+        return {"app": app, "dim": dim, "value": 1.0}
+
+    def metrics(self, timeout_s=10.0):
+        return {}
+
+
+class HTTPStatusError(Exception):
+    """An exception carrying an HTTP ``status``, like HTTPTarget raises."""
+
+    def __init__(self, status, message="status error"):
+        super().__init__(message)
+        self.status = status
+
+
+class TestClientRetries:
+    """Backpressure is retried with backoff; deadline misses are terminal."""
+
+    def run_one(self, target, **config_kwargs):
+        config = LoadgenConfig(
+            mix=parse_mix("lcs:48"),
+            requests=1,
+            clients=1,
+            retry_base_s=0.001,
+            **config_kwargs,
+        )
+        return run_loadgen(target, config)["results"]
+
+    def test_backpressure_is_retried_until_it_clears(self):
+        from repro.core.exceptions import BackpressureError
+
+        target = FlakyTarget([BackpressureError("full")] * 2)
+        results = self.run_one(target, retries=3)
+        assert results["completed"] == 1
+        assert results["retries"] == 2
+        assert results["rejected"] == 0
+        assert target.calls == 3
+
+    def test_retry_budget_exhaustion_counts_rejected(self):
+        target = FlakyTarget([HTTPStatusError(429)] * 10)
+        results = self.run_one(target, retries=2)
+        assert results["completed"] == 0
+        assert results["rejected"] == 1
+        assert results["retries"] == 2
+        assert target.calls == 3  # first attempt + the retry budget
+
+    def test_deadline_expiry_is_terminal_not_retried(self):
+        from repro.core.exceptions import DeadlineError
+
+        for error in (DeadlineError("too late"), HTTPStatusError(504)):
+            target = FlakyTarget([error])
+            results = self.run_one(target, retries=5)
+            assert results["deadline_expired"] == 1
+            assert results["retries"] == 0
+            assert target.calls == 1  # never retried
+
+    def test_deadline_config_is_sent_with_every_request(self):
+        target = FlakyTarget()
+        self.run_one(target, deadline_s=2.5)
+        assert target.deadlines_seen == [2.5]
+
+    def test_retry_knob_validation(self):
+        with pytest.raises(UsageError):
+            LoadgenConfig(mix=MIX, retries=-1)
+        with pytest.raises(UsageError):
+            LoadgenConfig(mix=MIX, retry_base_s=0.0)
+        with pytest.raises(UsageError):
+            LoadgenConfig(mix=MIX, deadline_s=0.0)
