@@ -15,7 +15,11 @@ Four guarantees, all enforced in CI and mirrored by
    complete;
 4. every public class of the result-cache package (``repro.cache``) is
    mentioned in ``docs/caching.md`` — the caching page stays complete;
-5. every public module, class, function and method under ``src/repro`` has
+5. every public class of the probabilistic app family (``viterbi.py``,
+   ``stochastic_path.py``, ``knapsack.py``) and every public helper of
+   ``repro.runtime.compute`` is mentioned in ``docs/apps.md`` — the
+   family's recurrence/witness/tolerance reference stays complete;
+6. every public module, class, function and method under ``src/repro`` has
    a docstring (nested defs and ``_private`` names are exempt).
 
 Run from the repository root (CI does) or anywhere inside it:
@@ -45,6 +49,18 @@ MEASURED_MODULE = SRC_ROOT / "autotuner" / "measured.py"
 SERVER_PACKAGE = "server"
 #: Package whose public classes must appear in docs/caching.md.
 CACHE_PACKAGE = "cache"
+#: The probabilistic app family + shared numerics reference page.
+APPS_DOC = REPO_ROOT / "docs" / "apps.md"
+#: Modules whose public classes must appear in docs/apps.md.
+PROBABILISTIC_MODULES = (
+    SRC_ROOT / "apps" / "viterbi.py",
+    SRC_ROOT / "apps" / "stochastic_path.py",
+    SRC_ROOT / "apps" / "knapsack.py",
+)
+#: Module whose semiring helpers must appear in docs/apps.md (the rest of
+#: its public surface is generic sweep machinery, covered elsewhere).
+COMPUTE_MODULE = SRC_ROOT / "runtime" / "compute.py"
+SEMIRING_HELPERS = ("logsumexp", "logsumexp_pair", "max_product_pair")
 
 
 def public_classes(package: str) -> dict[str, str]:
@@ -64,6 +80,18 @@ def module_classes(path: Path) -> dict[str, str]:
         node.name: str(rel)
         for node in ast.walk(ast.parse(path.read_text(encoding="utf-8")))
         if isinstance(node, ast.ClassDef) and not node.name.startswith("_")
+    }
+
+
+def module_functions(path: Path) -> dict[str, str]:
+    """Map of public top-level function name -> defining file for one module."""
+    rel = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return {
+        node.name: str(rel)
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not node.name.startswith("_")
     }
 
 
@@ -127,6 +155,15 @@ def main() -> int:
     cache = public_classes(CACHE_PACKAGE)
     total_classes += len(cache)
     problems += check_classes_mentioned(CACHING_DOC, cache)
+    probabilistic: dict[str, str] = {
+        name: origin
+        for name, origin in module_functions(COMPUTE_MODULE).items()
+        if name in SEMIRING_HELPERS
+    }
+    for module in PROBABILISTIC_MODULES:
+        probabilistic.update(module_classes(module))
+    total_classes += len(probabilistic)
+    problems += check_classes_mentioned(APPS_DOC, probabilistic)
     gaps = docstring_gaps(SRC_ROOT)
     problems += gaps
 

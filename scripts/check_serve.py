@@ -43,6 +43,7 @@ REQUIRED_RESULT_KEYS = (
     "retries",
     "mismatches",
     "skipped_verification",
+    "witness_verified",
     "wall_s",
     "throughput_rps",
     "latency_ms",
@@ -118,6 +119,15 @@ def well_formed(artifact: dict, min_completed: int) -> list[str]:
         problems.append(
             f"{results['skipped_verification']} completed requests were "
             "never verified (simulate mode or --no-verify?)"
+        )
+    witness_verified = results.get("witness_verified")
+    if witness_verified is not None and witness_verified != completed:
+        # Verification covers the (grid, witness) pair; every completed
+        # request must have passed it — witness-free apps included (their
+        # pair is (digest, None) on both sides).
+        problems.append(
+            f"witness_verified={witness_verified} != completed={completed}: "
+            "some answers passed without full (grid, witness) verification"
         )
     return problems
 

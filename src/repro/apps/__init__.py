@@ -13,7 +13,13 @@
 * :class:`repro.apps.lcs.LCSApp` — longest common subsequence, the textbook
   zero-boundary wavefront DP;
 * :class:`repro.apps.matrixchain.MatrixChainApp` — edge-split matrix-chain
-  ordering, interval DP re-oriented onto the wavefront.
+  ordering, interval DP re-oriented onto the wavefront;
+* :class:`repro.apps.viterbi.ViterbiApp` — banded-HMM Viterbi decoding,
+  the max-product probabilistic recurrence with a state-path witness;
+* :class:`repro.apps.stochastic_path.StochasticPathApp` — risk-sensitive
+  expected cost of a random lattice walk, the log-space-sum recurrence;
+* :class:`repro.apps.knapsack.ExpectedKnapsackApp` — expected-value
+  knapsack over Bernoulli items tracking first and second moments.
 
 All applications register themselves in :mod:`repro.apps.registry`; every
 kernel is expressible both per-cell (:meth:`WavefrontKernel.cell`) and
@@ -25,10 +31,17 @@ from repro.apps.base import WavefrontApplication
 from repro.apps.synthetic import SyntheticApp, SyntheticKernel
 from repro.apps.nash import NashEquilibriumApp, NashKernel
 from repro.apps.sequence import SequenceComparisonApp, SmithWatermanKernel, random_dna
-from repro.apps.knapsack import KnapsackApp, KnapsackKernel
+from repro.apps.knapsack import (
+    ExpectedKnapsackApp,
+    ExpectedKnapsackKernel,
+    KnapsackApp,
+    KnapsackKernel,
+)
 from repro.apps.editdistance import EditDistanceApp, EditDistanceKernel
 from repro.apps.lcs import LCSApp, LCSKernel
 from repro.apps.matrixchain import MatrixChainApp, MatrixChainKernel
+from repro.apps.stochastic_path import StochasticPathApp, StochasticPathKernel
+from repro.apps.viterbi import ViterbiApp, ViterbiKernel
 from repro.apps.registry import APPLICATIONS, get_application
 
 __all__ = [
@@ -48,6 +61,12 @@ __all__ = [
     "LCSKernel",
     "MatrixChainApp",
     "MatrixChainKernel",
+    "ViterbiApp",
+    "ViterbiKernel",
+    "StochasticPathApp",
+    "StochasticPathKernel",
+    "ExpectedKnapsackApp",
+    "ExpectedKnapsackKernel",
     "APPLICATIONS",
     "get_application",
 ]

@@ -84,6 +84,158 @@ class KnapsackKernel(WavefrontKernel):
         return float(np.sum(pool[: min(capacity, pool.size)]))
 
 
+class ExpectedKnapsackKernel(WavefrontKernel):
+    """Moment-tracking expected-value knapsack over Bernoulli item values.
+
+    The probabilistic extension of :class:`KnapsackKernel`: item ``i`` is
+    worth ``values[i]`` with probability ``probs[i]`` and nothing otherwise
+    (independent Bernoulli draws), still at unit weight.  The *policy* is
+    fixed by the first-moment DP
+
+        M1[i, w] = max(M1[i-1, w], M1[i-1, w-1] + p_i v_i)
+
+    (ties take the item), i.e. the classic recurrence on expected values.
+    What the wavefront grid carries is the **second moment** of the total
+    value ``S`` collected by that policy:
+
+        M2[i, w] = M2[i-1, w-1] + 2 M1[i-1, w-1] (p_i v_i) + p_i v_i^2
+                                                if the policy takes item i,
+        M2[i, w] = M2[i-1, w]                   otherwise,
+
+    from ``E[(S + X)^2] = E[S^2] + 2 E[S] E[X] + E[X^2]`` for the
+    independent Bernoulli increment ``X`` (``E[X] = p v``,
+    ``E[X^2] = p v^2``).  Together with M1 this yields the exact variance of
+    the stochastic payoff — the "moments of probabilistic loops" shape from
+    the related work — while keeping the north / north-west stencil: the
+    decision and increment tables are pure functions of ``(i, w)``
+    precomputed from the M1 DP, so the grid recurrence is a masked choice
+    between ``northwest + A[i, w]`` and ``north``.
+
+    The *witness* is the policy itself: the indices of the items taken on
+    the optimal-expected-value traceback from the corner cell, ascending.
+
+    Tables are precomputed lazily per grid size (the M1 DP is a genuine
+    O(dim^2) computation, not tileable modulo the item count) and cached on
+    the kernel under a ``_cached_`` attribute, which the problem's pickling
+    support already knows to drop.
+    """
+
+    def __init__(self, values: np.ndarray, probs: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        probs = np.asarray(probs, dtype=float)
+        if values.ndim != 1 or values.size < 1:
+            raise InvalidParameterError("values must be a non-empty 1-D array")
+        if probs.shape != values.shape:
+            raise InvalidParameterError("probs must match values' shape")
+        if np.any(values < 0):
+            raise InvalidParameterError("item values must be non-negative")
+        if np.any(probs < 0) or np.any(probs > 1):
+            raise InvalidParameterError("item probabilities must lie in [0, 1]")
+        self.values = values
+        self.probs = probs
+        self.tsize = KNAPSACK_TSIZE
+        self.dsize = KNAPSACK_DSIZE
+        self.name = "knapsack-ev"
+        self._cached_ev_tables: tuple | None = None
+
+    def __getstate__(self) -> dict:
+        """Drop the lazy table cache; workers rebuild it on first use."""
+        state = dict(self.__dict__)
+        state["_cached_ev_tables"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    def _tables(self, dim: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(take, add, m1) tables for a ``dim x dim`` grid, cached.
+
+        ``take[i, w]`` is the policy decision at grid cell ``(i, w)``,
+        ``add[i, w]`` the M2 increment applied when taking, and ``m1[i, w]``
+        the first moment at the cell.  Row ``i`` of the grid considers
+        items ``0 .. i`` (item indices modulo the item count), column ``w``
+        is the capacity, with the framework's zero boundary as the empty
+        prefix — exactly the :class:`KnapsackKernel` convention.
+        """
+        cached = self._cached_ev_tables
+        if cached is not None and cached[0] >= dim:
+            return cached[1][:dim, :dim], cached[2][:dim, :dim], cached[3][:dim, :dim]
+        # Grow geometrically so incremental sweeps (serial per-diagonal
+        # calls) trigger O(log dim) rebuilds, not one per diagonal.
+        size = max(dim, self.values.size)
+        if cached is not None:
+            size = max(size, 2 * cached[0])
+        n = self.values.size
+        ev = self.probs * self.values  # E[X] per item
+        ev2 = self.probs * self.values**2  # E[X^2] per item
+        m1_prev = np.zeros(size)  # M1 of the previous row, capacities 0..size-1
+        take = np.empty((size, size), dtype=bool)
+        add = np.empty((size, size))
+        m1 = np.empty((size, size))
+        for i in range(size):
+            gain = ev[i % n]
+            cand = np.empty(size)
+            cand[0] = -np.inf  # capacity 0 can never take
+            np.add(m1_prev[:-1], gain, out=cand[1:])
+            take[i] = cand >= m1_prev  # ties take the item
+            add[i, 0] = 0.0
+            add[i, 1:] = 2.0 * m1_prev[:-1] * gain + ev2[i % n]
+            m1[i] = np.where(take[i], cand, m1_prev)
+            m1_prev = m1[i]
+        self._cached_ev_tables = (size, take, add, m1)
+        return take[:dim, :dim], add[:dim, :dim], m1[:dim, :dim]
+
+    def first_moment(self, dim: int) -> np.ndarray:
+        """The M1 grid (expected total value) for a ``dim x dim`` problem."""
+        return self._tables(dim)[2].copy()
+
+    def diagonal(self, i, j, west, north, northwest):  # noqa: D102 - see base class
+        """Vectorized second-moment recurrence over one anti-diagonal."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        dim = int(max(np.max(i), np.max(j))) + 1
+        take, add, _ = self._tables(dim)
+        return np.where(take[i, j], northwest + add[i, j], north)
+
+    def make_diagonal_evaluator(self, dim, boundary):
+        """Fused sweep path: flat decision/increment tables, one masked copy."""
+        from repro.core import diagonal as dg
+
+        take, add, _ = self._tables(dim)
+        take_flat = np.ascontiguousarray(take).reshape(-1)
+        add_flat = np.ascontiguousarray(add).reshape(-1)
+        scratch = np.empty(dim)
+
+        def evaluate(d, i_min, i_max, west, north, northwest, out):
+            m = i_max - i_min + 1
+            seg = dg.flat_diagonal_segment(d, dim, i_min, i_max)
+            t = scratch[:m]
+            np.add(northwest, add_flat[seg], out=t)
+            np.copyto(out, north)
+            np.copyto(out, t, where=take_flat[seg])
+
+        return evaluate
+
+    # ------------------------------------------------------------------
+    def reconstruct_witness(self, values: np.ndarray) -> np.ndarray:
+        """Item indices the policy takes on the corner-cell traceback.
+
+        Walks the decision table from ``(dim-1, dim-1)``: a *take* records
+        the row's item index and moves north-west, a *skip* moves north.
+        Returns the ascending ``int64`` item indices (modulo the item
+        count), i.e. the deterministic policy whose moments the grid holds.
+        """
+        dim = values.shape[0]
+        take, _, _ = self._tables(dim)
+        n = self.values.size
+        chosen = []
+        i, j = dim - 1, dim - 1
+        while i >= 0:
+            if take[i, j]:
+                chosen.append(i % n)
+                j -= 1
+            i -= 1
+        return np.asarray(chosen[::-1], dtype=np.int64)
+
+
 class KnapsackApp(WavefrontApplication):
     """Unit-weight 0/1 knapsack application with random item values."""
 
@@ -103,3 +255,35 @@ class KnapsackApp(WavefrontApplication):
         rng = make_rng(self.seed)
         values = rng.uniform(0.0, self.max_value, size=self.default_dim)
         return KnapsackKernel(values)
+
+
+class ExpectedKnapsackApp(WavefrontApplication):
+    """Expected-value knapsack with Bernoulli item values and moment tracking.
+
+    Item values are drawn like :class:`KnapsackApp`'s; each item's success
+    probability is uniform over ``(0.1, 0.9)`` so no decision is ever
+    degenerate and the tie-take rule is exercised through repeated values.
+    """
+
+    name = "knapsack-ev"
+    default_dim = 128
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        seed: int | None = None,
+        max_value: float = 10.0,
+    ) -> None:
+        if max_value <= 0:
+            raise InvalidParameterError(f"max_value must be positive, got {max_value}")
+        if dim is not None:
+            self.default_dim = int(dim)
+        self.seed = seed
+        self.max_value = float(max_value)
+
+    def make_kernel(self) -> ExpectedKnapsackKernel:
+        """Construct the moment-tracking kernel for the app's random items."""
+        rng = make_rng(self.seed)
+        values = rng.uniform(0.0, self.max_value, size=self.default_dim)
+        probs = rng.uniform(0.1, 0.9, size=self.default_dim)
+        return ExpectedKnapsackKernel(values, probs)

@@ -7,12 +7,14 @@ from typing import Callable
 from repro.apps.base import WavefrontApplication
 from repro.core.exceptions import UnknownApplicationError
 from repro.apps.editdistance import EditDistanceApp
-from repro.apps.knapsack import KnapsackApp
+from repro.apps.knapsack import ExpectedKnapsackApp, KnapsackApp
 from repro.apps.lcs import LCSApp
 from repro.apps.matrixchain import MatrixChainApp
 from repro.apps.nash import NashEquilibriumApp
 from repro.apps.sequence import SequenceComparisonApp
+from repro.apps.stochastic_path import StochasticPathApp
 from repro.apps.synthetic import SyntheticApp
+from repro.apps.viterbi import ViterbiApp
 
 #: Application factories by name; each factory takes no required arguments.
 APPLICATIONS: dict[str, Callable[[], WavefrontApplication]] = {
@@ -20,9 +22,12 @@ APPLICATIONS: dict[str, Callable[[], WavefrontApplication]] = {
     "nash-equilibrium": NashEquilibriumApp,
     "sequence-comparison": SequenceComparisonApp,
     "knapsack": KnapsackApp,
+    "knapsack-ev": ExpectedKnapsackApp,
     "edit-distance": EditDistanceApp,
     "lcs": LCSApp,
     "matrix-chain": MatrixChainApp,
+    "stochastic-path": StochasticPathApp,
+    "viterbi": ViterbiApp,
 }
 
 

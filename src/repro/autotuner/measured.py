@@ -325,9 +325,21 @@ class ProfileConfig:
     (the whole-grid engines ignore the tile and are measured once at
     ``cpu_tile=1``); ``budget_s`` truncates the sweep when the wall-clock
     budget is exhausted, so quick runs stay quick even on slow hosts.
+
+    The default app grid spans the arithmetic-intensity classes the
+    registry offers: the fine-grained comparison kernels, the probabilistic
+    max-product recurrence (``viterbi``, ``tsize`` 0.75) and the
+    transcendental-heavy log-space sum (``stochastic-path``, ``tsize`` 2.0)
+    — so learned records cover the new probabilistic workload class too.
     """
 
-    apps: tuple[str, ...] = ("lcs", "synthetic", "edit-distance")
+    apps: tuple[str, ...] = (
+        "lcs",
+        "synthetic",
+        "edit-distance",
+        "viterbi",
+        "stochastic-path",
+    )
     dims: tuple[int, ...] = (128, 256, 512, 768)
     backends: tuple[str, ...] = PROFILED_BACKENDS
     tiles: tuple[int, ...] = (8, 16, 32, 64, 128)
@@ -339,7 +351,7 @@ class ProfileConfig:
     def quick(cls) -> "ProfileConfig":
         """The CI / 1-core budget: a grid that finishes well inside 60 s."""
         return cls(
-            apps=("lcs", "synthetic"),
+            apps=("lcs", "synthetic", "viterbi"),
             dims=(128, 256, 512),
             backends=("serial", "vectorized", "mp-parallel", "hybrid-vectorized", "hybrid-mp"),
             tiles=(32, 128),

@@ -8,8 +8,8 @@ On-disk layout (documented in ``docs/caching.md``)::
 
 Each entry is a single NumPy ``.npz`` archive holding a JSON header (the
 result's scalar fields plus the request payload that produced it) and the
-grid's raw arrays (``values``, optional ``payload``, ``meta``) — bit-exact,
-no float round-tripping through text.
+grid's raw arrays (``values``, optional ``payload``, ``meta``, optional
+``witness``) — bit-exact, no float round-tripping through text.
 
 Durability contract:
 
@@ -81,6 +81,7 @@ def encode_result(result: ExecutionResult, request: dict | None = None) -> dict:
             for f in dataclasses.fields(PhaseBreakdown)
         },
         "grid": None,
+        "witness": None,
     }
     arrays: dict[str, np.ndarray] = {}
     if result.grid is not None:
@@ -93,6 +94,12 @@ def encode_result(result: ExecutionResult, request: dict | None = None) -> dict:
         arrays["meta"] = result.grid.meta
         if result.grid.payload is not None:
             arrays["payload"] = result.grid.payload
+    if result.witness is not None:
+        # Witness arrays are raw npz members like the grid — bit-exact, no
+        # text round-tripping.  Absence stays representable (old entries and
+        # witness-free kernels decode to None), so the format version holds.
+        header["witness"] = {"dtype": str(result.witness.dtype)}
+        arrays["witness"] = result.witness
     arrays["header"] = np.frombuffer(
         json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
@@ -123,6 +130,11 @@ def decode_result(archive) -> ExecutionResult:
         grid.meta[...] = archive["meta"]
         if grid.payload is not None:
             grid.payload[...] = archive["payload"]
+    witness = None
+    if header.get("witness") is not None:
+        witness = np.asarray(
+            archive["witness"], dtype=np.dtype(header["witness"]["dtype"])
+        )
     return ExecutionResult(
         params=InputParams(dim=int(p["dim"]), tsize=float(p["tsize"]), dsize=int(p["dsize"])),
         tunables=TunableParams(**{k: int(v) for k, v in header["tunables"].items()}),
@@ -133,6 +145,7 @@ def decode_result(archive) -> ExecutionResult:
         grid=grid,
         wall_time=float(header["wall_time"]),
         stats=dict(header["stats"]),
+        witness=witness,
     )
 
 

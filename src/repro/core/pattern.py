@@ -89,6 +89,22 @@ class WavefrontKernel(abc.ABC):
         """
         return None
 
+    def reconstruct_witness(self, values: np.ndarray) -> "np.ndarray | None":
+        """Optional traceback over the completed value grid.
+
+        Kernels whose answer has a *certificate* — the decoded state path of
+        a Viterbi recurrence, the taken-item set of a knapsack policy — may
+        override this to reconstruct it from the finished ``dim x dim``
+        value grid.  The return value must be a 1-D ``int64`` array (the
+        shape is kernel-defined) that is a pure function of ``values`` and
+        the kernel's own tables, so backends producing identical grids
+        yield byte-identical witnesses.  Executors call this exactly once
+        per functional run and attach the result to the
+        :class:`repro.runtime.result.ExecutionResult`; the default ``None``
+        means the kernel has no witness.
+        """
+        return None
+
     def validate_output(self, values: np.ndarray, expected_len: int) -> np.ndarray:
         """Check a diagonal result for shape/NaN problems and return it."""
         values = np.asarray(values, dtype=float)

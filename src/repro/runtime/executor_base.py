@@ -96,6 +96,7 @@ class Executor(abc.ABC):
         breakdown = self._breakdown(problem, tunables)
 
         grid = None
+        witness = None
         stats: dict = {"strategy": self.strategy}
         wall = 0.0
         if mode is ExecutionMode.FUNCTIONAL:
@@ -108,6 +109,11 @@ class Executor(abc.ABC):
                     f"expected {problem.dim}"
                 )
             stats.update(extra)
+            # Single witness-reconstruction point for every backend: the
+            # traceback is a pure function of the finished grid, so running
+            # it here (not inside _run_functional) keeps serial, vectorized,
+            # multicore and hybrid strategies byte-identical by construction.
+            witness = problem.kernel.reconstruct_witness(grid.values)
 
         return ExecutionResult(
             params=params,
@@ -119,6 +125,7 @@ class Executor(abc.ABC):
             grid=grid,
             wall_time=wall,
             stats=stats,
+            witness=witness,
         )
 
     def predict(self, problem: WavefrontProblem, tunables: TunableParams | None = None) -> float:

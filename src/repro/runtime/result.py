@@ -20,6 +20,13 @@ class ExecutionResult:
     runtime in seconds on the target platform.  ``wall_time`` is how long the
     reproduction actually took on the host (only meaningful in functional
     mode).  ``grid`` is populated in functional mode only.
+
+    ``witness`` is the kernel's optional answer certificate (see
+    :meth:`repro.core.pattern.WavefrontKernel.reconstruct_witness`) — e.g.
+    the decoded Viterbi state path — reconstructed by traceback after the
+    functional sweep; ``None`` for witness-free kernels and in simulate
+    mode.  It is a 1-D ``int64`` array and travels with the result through
+    the cache and the serving stack.
     """
 
     params: InputParams
@@ -31,6 +38,7 @@ class ExecutionResult:
     grid: WavefrontGrid | None = None
     wall_time: float = 0.0
     stats: dict[str, Any] = field(default_factory=dict)
+    witness: np.ndarray | None = None
 
     @property
     def value(self) -> float:
@@ -50,10 +58,20 @@ class ExecutionResult:
         return float(np.sum(self.grid.values))
 
     def matches(self, other: "ExecutionResult", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
-        """True when both results carry grids with element-wise equal values."""
+        """True when both results carry grids with element-wise equal values.
+
+        Witnesses, when present on either side, must be *exactly* equal —
+        a traceback certificate has no meaningful tolerance.
+        """
         if self.grid is None or other.grid is None:
             return False
-        return self.grid.allclose(other.grid, rtol=rtol, atol=atol)
+        if not self.grid.allclose(other.grid, rtol=rtol, atol=atol):
+            return False
+        if self.witness is None and other.witness is None:
+            return True
+        if self.witness is None or other.witness is None:
+            return False
+        return np.array_equal(self.witness, other.witness)
 
     def summary(self) -> dict[str, Any]:
         """Flat dictionary used by reports and persistence."""

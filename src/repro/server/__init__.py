@@ -63,7 +63,12 @@ from repro.server.loadgen import (
     run_loadgen,
 )
 from repro.server.faults import FaultInjector, FaultPlan, FaultSpec
-from repro.server.http import ServingEndpoint, grid_digest, result_payload
+from repro.server.http import (
+    ServingEndpoint,
+    grid_digest,
+    result_payload,
+    witness_digest,
+)
 from repro.server.metrics import ServerMetrics, summarise_latencies
 from repro.server.queue import RequestQueue, ServeRequest, request_signature
 from repro.server.service import ReproServer, ServerConfig
@@ -113,6 +118,7 @@ __all__ = [
     "zipf_weights",
     "request_signature",
     "result_payload",
+    "witness_digest",
     "grid_digest",
     "summarise_latencies",
 ]

@@ -71,8 +71,29 @@ def grid_digest(result: ExecutionResult) -> str | None:
     ).hexdigest()
 
 
+def witness_digest(result: ExecutionResult) -> str | None:
+    """SHA-256 of the result's witness array bytes, or ``None`` without one.
+
+    The witness (a traceback certificate, see
+    :meth:`repro.core.pattern.WavefrontKernel.reconstruct_witness`) is
+    digested separately from the grid: a traceback bug then fails
+    verification on its own digest even when the value grid is perfect.
+    """
+    if result.witness is None:
+        return None
+    return hashlib.sha256(
+        np.ascontiguousarray(result.witness).tobytes()
+    ).hexdigest()
+
+
 def result_payload(app: str, dim: int | None, result: ExecutionResult) -> dict:
-    """The JSON body answering one successful ``POST /solve``."""
+    """The JSON body answering one successful ``POST /solve``.
+
+    Witness-bearing results additionally answer ``witness`` (the full
+    certificate as a list of ints — witnesses are short, one path per
+    solve) and ``witness_sha256``; witness-free results answer neither key
+    as ``null`` values would be indistinguishable from a dropped witness.
+    """
     payload = {
         "app": app,
         "dim": result.params.dim if dim is None else dim,
@@ -86,6 +107,9 @@ def result_payload(app: str, dim: int | None, result: ExecutionResult) -> dict:
     if result.grid is not None:
         payload["value"] = result.value
         payload["checksum"] = result.checksum
+    if result.witness is not None:
+        payload["witness"] = [int(x) for x in result.witness]
+        payload["witness_sha256"] = witness_digest(result)
     return payload
 
 

@@ -14,11 +14,14 @@ artifact (by default under ``benchmarks/results/``) that
   regardless of completions, so queueing delay (and eventually
   backpressure) becomes visible.
 
-Verification keys off the grid fingerprint: the reference session solves
-each distinct ``(app, dim)`` of the mix once, and every served answer must
-match its SHA-256 grid digest (HTTP) or its full grid bit-for-bit
-(in-process) — the "grids identical to in-process solving" acceptance
-criterion, enforced on every request.
+Verification keys off the *(grid, witness)* fingerprint pair: the reference
+session solves each distinct ``(app, dim)`` of the mix once, and every
+served answer must match its SHA-256 grid digest (HTTP) or its full grid
+bit-for-bit (in-process) — *and*, for witness-bearing apps, the witness
+digest / array exactly — the "grids identical to in-process solving"
+acceptance criterion, enforced on every request.  Digesting the witness
+separately means a traceback bug cannot pass verification on a perfect
+value grid.
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ from repro.core.exceptions import (
     ServerError,
     UsageError,
 )
-from repro.server.http import grid_digest
+from repro.server.http import grid_digest, witness_digest
 from repro.server.service import ReproServer
 from repro.session import Session
 from repro.server.metrics import summarise_latencies
@@ -52,7 +55,10 @@ from repro.server.metrics import summarise_latencies
 #: v3: ``results.deadline_expired`` (504s are a distinct outcome, not
 #: generic failures) and ``results.retries`` (backpressured attempts retried
 #: with jittered exponential backoff are counted, not hidden).
-LOADGEN_FORMAT_VERSION = 3
+#: v4: verification digests the ``(grid, witness)`` pair instead of the grid
+#: alone, and ``results.witness_verified`` counts requests whose full pair
+#: matched the reference (gated against ``completed`` in CI).
+LOADGEN_FORMAT_VERSION = 4
 
 #: Cap of the jittered exponential retry backoff (seconds).
 RETRY_CAP_S = 1.0
@@ -261,7 +267,9 @@ def _answer_payload(result) -> dict:
         "value": result.value if result.grid is not None else None,
         "checksum": result.checksum if result.grid is not None else None,
         "grid_sha256": grid_digest(result),
+        "witness_sha256": witness_digest(result),
         "_grid": result.grid,
+        "_witness": result.witness,
     }
 
 
@@ -316,26 +324,35 @@ def build_reference(
 def _verify(answer: dict, expected: dict) -> bool | None:
     """Tri-state verdict of one served answer against the reference.
 
-    ``True``/``False`` — the grids (or their digests) were compared and
-    matched / did not match.  ``None`` — *nothing was comparable*: both
-    sides are grid-less (simulate mode), so the request completed without
-    any verification.  Callers must count ``None`` as
+    ``True``/``False`` — the *(grid, witness)* pair (or its digests) was
+    compared and matched / did not match.  ``None`` — *nothing was
+    comparable*: both sides are grid-less (simulate mode), so the request
+    completed without any verification.  Callers must count ``None`` as
     ``skipped_verification``, never fold it into either pass or mismatch —
-    an answer missing a grid the reference *does* have stays a mismatch.
+    an answer missing a grid the reference *does* have stays a mismatch,
+    and so does a missing (or extra, or different) witness.
     """
     if answer.get("_grid") is not None and expected.get("_grid") is not None:
-        return bool(
-            np.array_equal(answer["_grid"].values, expected["_grid"].values)
-        )
+        if not np.array_equal(answer["_grid"].values, expected["_grid"].values):
+            return False
+        answer_witness = answer.get("_witness")
+        expected_witness = expected.get("_witness")
+        if answer_witness is None or expected_witness is None:
+            return answer_witness is None and expected_witness is None
+        return bool(np.array_equal(answer_witness, expected_witness))
     answer_digest = answer.get("grid_sha256")
     expected_digest = expected.get("grid_sha256")
     if answer_digest is None and expected_digest is None:
         return None
     if answer_digest is None or expected_digest is None:
         return False
-    return answer_digest == expected_digest and answer.get("checksum") == expected.get(
+    if answer_digest != expected_digest or answer.get("checksum") != expected.get(
         "checksum"
-    )
+    ):
+        return False
+    # HTTP answers carry the witness digest only when a witness exists, so
+    # None == None verifies witness-free apps and any asymmetry fails.
+    return answer.get("witness_sha256") == expected.get("witness_sha256")
 
 
 def _cache_delta(before: dict | None, after: dict | None) -> dict | None:
@@ -415,6 +432,7 @@ def run_loadgen(
         "retries": 0,
         "mismatches": 0,
         "skipped_verification": 0,
+        "witness_verified": 0,
     }
     errors: list[str] = []
     try:
@@ -510,6 +528,10 @@ def run_loadgen(
                             f"{app}:{dim} answer does not match the "
                             "in-process reference"
                         )
+                else:
+                    # The full (grid, witness) pair matched — witness-free
+                    # apps verify as (digest, None) == (digest, None).
+                    outcomes["witness_verified"] += 1
 
     threads = [
         threading.Thread(target=client_loop, name=f"loadgen-client-{i}")
@@ -530,6 +552,7 @@ def run_loadgen(
             f"{outcomes['deadline_expired']} deadline-expired, "
             f"{outcomes['retries']} retries, "
             f"{outcomes['mismatches']} mismatches, "
+            f"{outcomes['witness_verified']} witness-verified, "
             f"{outcomes['skipped_verification']} unverified"
         )
 

@@ -108,9 +108,12 @@ class TestRegistry:
             "nash-equilibrium",
             "sequence-comparison",
             "knapsack",
+            "knapsack-ev",
             "edit-distance",
             "lcs",
             "matrix-chain",
+            "viterbi",
+            "stochastic-path",
         }
 
     def test_get_application_with_kwargs(self):

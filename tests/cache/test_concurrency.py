@@ -6,6 +6,11 @@ properties the cache claims under load: answers bit-identical to sequential
 uncached solving, exactly one real solve per unique key (stampede
 protection), eviction under load never serving a stale or torn grid, and
 injected corruption surfacing as counted misses followed by self-repair.
+
+The keyspace includes witness-bearing probabilistic apps (``viterbi``,
+``stochastic-path``), so every battery pass also proves witnesses survive
+the memory tier, the disk tier (npz round-trip across a session restart)
+and result coalescing byte-identically.
 """
 
 import threading
@@ -17,8 +22,16 @@ from repro.cache import DiskCacheStore, ResultCache, request_key
 from repro.core.exceptions import CacheError
 from repro.session import Session
 
-#: The small keyspace every battery test draws from (distinct signatures).
-KEYSPACE = (("lcs", 20), ("lcs", 24), ("edit-distance", 20), ("matrix-chain", 18))
+#: The small keyspace every battery test draws from (distinct signatures,
+#: including two witness-bearing probabilistic apps).
+KEYSPACE = (
+    ("lcs", 20),
+    ("lcs", 24),
+    ("edit-distance", 20),
+    ("matrix-chain", 18),
+    ("viterbi", 16),
+    ("stochastic-path", 16),
+)
 
 
 def zipf_requests(count, seed=3, s=1.2):
@@ -59,8 +72,34 @@ def expected_grids():
         }
 
 
+@pytest.fixture(scope="module")
+def expected_witnesses():
+    """Sequential, uncached reference witnesses (None for witness-free apps)."""
+    with Session(system="i7-2600K") as session:
+        witnesses = {}
+        for app, dim in KEYSPACE:
+            witness = session.solve(app, dim, backend="serial").witness
+            witnesses[(app, dim)] = None if witness is None else witness.copy()
+        return witnesses
+
+
+def assert_witness_matches(result, expected_witnesses, app, dim):
+    """One served result's witness must byte-match the sequential reference."""
+    expected = expected_witnesses[(app, dim)]
+    if expected is None:
+        assert result.witness is None, f"{app}:{dim} grew an unexpected witness"
+    else:
+        assert result.witness is not None, f"{app}:{dim} lost its witness"
+        assert result.witness.dtype == expected.dtype
+        assert np.array_equal(result.witness, expected), (
+            f"{app}:{dim} witness diverged from sequential solving"
+        )
+
+
 class TestSharedSessionBattery:
-    def test_concurrent_zipf_stream_matches_sequential(self, tmp_path, expected_grids):
+    def test_concurrent_zipf_stream_matches_sequential(
+        self, tmp_path, expected_grids, expected_witnesses
+    ):
         requests = zipf_requests(64)
         stream = iter(requests)
         stream_lock = threading.Lock()
@@ -77,6 +116,7 @@ class TestSharedSessionBattery:
                     assert np.array_equal(
                         result.grid.values, expected_grids[(app, dim)]
                     ), f"{app}:{dim} diverged from sequential solving"
+                    assert_witness_matches(result, expected_witnesses, app, dim)
 
             hammer(8, worker)
             # Exactly-once: every unique key cost one real execution, no
@@ -91,23 +131,27 @@ class TestSharedSessionBattery:
             )
 
     def test_warm_restart_serves_from_disk_without_solving(
-        self, tmp_path, expected_grids
+        self, tmp_path, expected_grids, expected_witnesses
     ):
         with Session(system="i7-2600K", cache_dir=tmp_path) as warmup:
             for app, dim in KEYSPACE:
                 warmup.solve(app, dim, backend="serial")
+        requests = zipf_requests(16, seed=11)
         with Session(system="i7-2600K", cache_dir=tmp_path) as session:
 
             def worker():
-                for app, dim in zipf_requests(16, seed=11):
+                for app, dim in requests:
                     result = session.solve(app, dim, backend="serial")
                     assert np.array_equal(
                         result.grid.values, expected_grids[(app, dim)]
                     )
+                    # Disk-tier witnesses: byte-identical across the restart.
+                    assert_witness_matches(result, expected_witnesses, app, dim)
 
             hammer(6, worker)
             assert session.stats["runs"] == 0, "warm restart must not re-solve"
-            assert session.cache_info()["results"]["disk_hits"] == len(KEYSPACE)
+            # One disk hit per unique key the skewed stream actually touched.
+            assert session.cache_info()["results"]["disk_hits"] == len(set(requests))
 
 
 class TestStampedeProtection:
@@ -207,3 +251,28 @@ class TestCorruptionUnderLoad:
         (tmp_path / "cache_format.json").write_text('{"format_version": 999}')
         with pytest.raises(CacheError):
             Session(system="i7-2600K", cache_dir=tmp_path)
+
+
+class TestWitnessEndToEnd:
+    """Cold solve -> memory hit -> disk hit return byte-identical witnesses."""
+
+    @pytest.mark.parametrize("app,dim", [("viterbi", 16), ("stochastic-path", 16)])
+    def test_witness_identical_across_all_cache_tiers(self, tmp_path, app, dim):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            cold = session.solve(app, dim, backend="serial")
+            assert cold.witness is not None and cold.witness.dtype == np.int64
+            warm = session.solve(app, dim, backend="serial")
+            assert session.cache_info()["results"]["memory_hits"] >= 1
+            assert np.array_equal(warm.witness, cold.witness)
+        # A fresh session over the same directory hits the disk tier only.
+        with Session(system="i7-2600K", cache_dir=tmp_path) as restarted:
+            disk = restarted.solve(app, dim, backend="serial")
+            assert restarted.stats["runs"] == 0
+            assert disk.witness.dtype == cold.witness.dtype
+            assert np.array_equal(disk.witness, cold.witness)
+
+    def test_witness_free_apps_stay_witness_free_through_the_tiers(self, tmp_path):
+        with Session(system="i7-2600K", cache_dir=tmp_path) as session:
+            assert session.solve("lcs", 20, backend="serial").witness is None
+        with Session(system="i7-2600K", cache_dir=tmp_path) as restarted:
+            assert restarted.solve("lcs", 20, backend="serial").witness is None

@@ -210,3 +210,43 @@ class TestCodecHelpers:
         assert "values" not in arrays and "meta" not in arrays
         header = json.loads(bytes(arrays["header"].tobytes()).decode("utf-8"))
         assert header["grid"] is None
+
+
+class TestWitnessCodec:
+    @pytest.fixture(scope="class")
+    def witnessed(self):
+        """One witness-bearing solved result shared by the codec tests."""
+        with Session(system="i7-2600K") as session:
+            return session.solve("viterbi", 16, backend="serial")
+
+    def test_codec_round_trips_the_witness_bit_exactly(self, witnessed):
+        assert witnessed.witness is not None
+        loaded = decode_result(encode_result(witnessed, request=None))
+        assert loaded.witness.dtype == witnessed.witness.dtype
+        assert np.array_equal(loaded.witness, witnessed.witness)
+        assert loaded.matches(witnessed)
+
+    def test_store_round_trips_the_witness_bit_exactly(self, tmp_path, witnessed):
+        store = DiskCacheStore(tmp_path)
+        key = request_key("viterbi", 16, overrides={"backend": "serial"})
+        store.put(key.digest, witnessed, request=key.payload)
+        loaded = store.get(key.digest)
+        assert np.array_equal(loaded.witness, witnessed.witness)
+        assert np.array_equal(loaded.grid.values, witnessed.grid.values)
+
+    def test_witness_free_results_omit_the_npz_member(self, solved):
+        arrays = encode_result(solved[16], request=None)
+        assert "witness" not in arrays
+        header = json.loads(bytes(arrays["header"].tobytes()).decode("utf-8"))
+        assert header["witness"] is None
+        assert decode_result(arrays).witness is None
+
+    def test_legacy_entries_without_a_witness_key_decode_to_none(self, solved):
+        """Pre-witness archives have no ``witness`` header key at all."""
+        arrays = encode_result(solved[16], request=None)
+        header = json.loads(bytes(arrays["header"].tobytes()).decode("utf-8"))
+        del header["witness"]
+        arrays["header"] = np.frombuffer(
+            json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        assert decode_result(arrays).witness is None

@@ -1,0 +1,164 @@
+"""Numerical-stability tests of the shared probability-semiring helpers.
+
+The contract under test (see :mod:`repro.runtime.compute`): exact results
+across the float range — logits near ``±700`` where the naive formula
+overflows/underflows — mathematical limits at the infinities (all-``-inf``
+columns are empty probability sums), agreement with extended-precision
+oracles (``np.longdouble`` always; ``mpmath`` when the host has it), and
+**no RuntimeWarning leaks** from any edge case: every test in this module
+runs under warnings-as-errors.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime.compute import logsumexp, logsumexp_pair, max_product_pair
+
+
+@pytest.fixture(autouse=True)
+def warnings_are_errors():
+    """Every helper call in this module must be warning-silent."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+def oracle_pair(a, b):
+    """Extended-precision log(exp(a) + exp(b)) via ``np.longdouble``.
+
+    The shift-by-max form in longdouble (>= 64-bit mantissa on x86) carries
+    enough headroom to serve as ground truth for double-precision inputs.
+    """
+    hi = np.maximum(a, b, dtype=np.longdouble)
+    lo = np.minimum(a, b, dtype=np.longdouble)
+    if np.isinf(hi):
+        return float(hi)
+    return float(hi + np.log1p(np.exp(lo - hi)))
+
+
+class TestExtremes:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (700.0, 700.0),
+            (700.0, -700.0),
+            (-700.0, -700.0),
+            (-745.0, -740.0),  # exp() underflows to subnormals here
+            (709.7, 709.7),  # exp() overflows just above this
+            (0.0, -745.0),
+            (1e308, 1e308),
+            (-1e308, -1e308),
+        ],
+    )
+    def test_pair_matches_longdouble_oracle_at_the_edges(self, a, b):
+        result = float(logsumexp_pair(a, b))
+        expected = oracle_pair(a, b)
+        assert result == pytest.approx(expected, rel=1e-13, abs=1e-13)
+
+    def test_no_overflow_for_logits_near_positive_700(self):
+        values = np.array([700.0, 699.0, 698.0])
+        result = float(logsumexp(values))
+        shifted = 700.0 + np.log(np.sum(np.exp(values - 700.0)))
+        assert result == pytest.approx(shifted, rel=1e-15)
+
+    def test_no_underflow_collapse_for_logits_near_negative_700(self):
+        values = np.array([-700.0, -701.0, -702.0])
+        result = float(logsumexp(values))
+        assert np.isfinite(result)
+        assert result == pytest.approx(-700.0 + np.log(np.sum(np.exp(values + 700.0))), rel=1e-15)
+
+    def test_result_at_least_the_maximum_always(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(-750, 710, size=(50, 8))
+        out = logsumexp(values, axis=1)
+        assert np.all(out >= np.max(values, axis=1))
+
+
+class TestInfinities:
+    def test_both_negative_inf_is_negative_inf(self):
+        assert float(logsumexp_pair(-np.inf, -np.inf)) == -np.inf
+
+    def test_one_negative_inf_is_identity(self):
+        assert float(logsumexp_pair(-np.inf, 3.25)) == 3.25
+        assert float(logsumexp_pair(3.25, -np.inf)) == 3.25
+
+    def test_positive_inf_dominates(self):
+        assert float(logsumexp_pair(np.inf, -np.inf)) == np.inf
+        assert float(logsumexp_pair(np.inf, np.inf)) == np.inf
+        assert float(logsumexp_pair(np.inf, 0.0)) == np.inf
+
+    def test_all_negative_inf_column_reduces_to_negative_inf(self):
+        values = np.full((4, 3), -np.inf)
+        values[:, 1] = [0.0, 1.0, 2.0, 3.0]
+        out = logsumexp(values, axis=0)
+        assert out[0] == -np.inf and out[2] == -np.inf
+        assert out[1] == pytest.approx(oracle_pair(oracle_pair(0.0, 1.0), oracle_pair(2.0, 3.0)), rel=1e-12)
+
+    def test_whole_array_of_negative_inf(self):
+        assert float(logsumexp(np.full(5, -np.inf))) == -np.inf
+
+    def test_mixed_columns_stay_columnwise_independent(self):
+        values = np.array([[-np.inf, 700.0], [-np.inf, 700.0]])
+        out = logsumexp(values, axis=0)
+        assert out[0] == -np.inf
+        assert out[1] == pytest.approx(700.0 + np.log(2.0), rel=1e-15)
+
+
+class TestOracleAgreement:
+    def test_pair_agrees_with_longdouble_on_random_logits(self):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(-720, 705, size=500)
+        b = rng.uniform(-720, 705, size=500)
+        got = logsumexp_pair(a, b)
+        expected = np.array([oracle_pair(x, y) for x, y in zip(a, b)])
+        assert np.allclose(got, expected, rtol=1e-13, atol=1e-13)
+
+    def test_reduction_agrees_with_longdouble_on_random_columns(self):
+        rng = np.random.default_rng(13)
+        values = rng.uniform(-700, 700, size=(40, 6))
+        got = logsumexp(values, axis=1)
+        shifted = values.astype(np.longdouble)
+        hi = np.max(shifted, axis=1, keepdims=True)
+        expected = (hi[:, 0] + np.log(np.sum(np.exp(shifted - hi), axis=1))).astype(float)
+        assert np.allclose(got, expected, rtol=1e-13, atol=1e-13)
+
+    def test_pair_agrees_with_mpmath_oracle_when_available(self):
+        mpmath = pytest.importorskip("mpmath")
+        mpmath.mp.dps = 50
+        cases = [(700.0, 699.5), (-745.0, -744.0), (0.0, -708.0), (123.456, -654.321)]
+        for a, b in cases:
+            expected = float(mpmath.log(mpmath.e**a + mpmath.e**b))
+            assert float(logsumexp_pair(a, b)) == pytest.approx(expected, rel=1e-14)
+
+
+class TestSemiringAlgebra:
+    def test_pair_is_commutative_and_monotone(self):
+        rng = np.random.default_rng(17)
+        a = rng.uniform(-50, 50, size=200)
+        b = rng.uniform(-50, 50, size=200)
+        assert np.array_equal(logsumexp_pair(a, b), logsumexp_pair(b, a))
+        assert np.all(logsumexp_pair(a, b) >= np.maximum(a, b))
+
+    def test_pair_matches_reduction_on_two_rows(self):
+        rng = np.random.default_rng(19)
+        values = rng.uniform(-700, 700, size=(2, 64))
+        pairwise = logsumexp_pair(values[0], values[1])
+        reduced = logsumexp(values, axis=0)
+        assert np.allclose(pairwise, reduced, rtol=1e-13, atol=0)
+
+    def test_out_parameter_writes_in_place(self):
+        a = np.array([1.0, -np.inf, 700.0])
+        b = np.array([2.0, -np.inf, 700.0])
+        out = np.empty(3)
+        returned = logsumexp_pair(a, b, out=out)
+        assert returned is out
+        assert np.array_equal(out, logsumexp_pair(a, b))
+
+    def test_max_product_pair_is_exact_max(self):
+        a = np.array([1.0, -np.inf, 5.0])
+        b = np.array([2.0, -np.inf, 4.0])
+        assert np.array_equal(max_product_pair(a, b), np.maximum(a, b))
+        out = np.empty(3)
+        assert max_product_pair(a, b, out=out) is out

@@ -7,7 +7,7 @@ import urllib.request
 
 import pytest
 
-from repro.server import ReproServer, ServerConfig, ServingEndpoint
+from repro.server import ReproServer, ServerConfig, ServingEndpoint, witness_digest
 
 
 @pytest.fixture()
@@ -58,6 +58,25 @@ class TestRoutes:
         )
         assert status == 200
         assert body["checksum"] == serve_session.solve("lcs", 48).checksum
+
+    def test_witness_bearing_app_answers_the_exact_path(
+        self, endpoint, serve_session
+    ):
+        status, body = post_json(
+            endpoint.url + "/solve", {"app": "viterbi", "dim": 32}
+        )
+        assert status == 200
+        reference = serve_session.solve("viterbi", 32)
+        # The served witness is byte-identical to in-process solving: the
+        # JSON list round-trips the int64 path and the digest matches.
+        assert body["witness"] == [int(x) for x in reference.witness]
+        assert body["witness_sha256"] == witness_digest(reference)
+        assert len(body["witness_sha256"]) == 64
+
+    def test_witness_free_app_answers_neither_witness_key(self, endpoint):
+        status, body = post_json(endpoint.url + "/solve", {"app": "lcs", "dim": 48})
+        assert status == 200
+        assert "witness" not in body and "witness_sha256" not in body
 
     def test_metrics_and_healthz(self, endpoint):
         post_json(endpoint.url + "/solve", {"app": "lcs", "dim": 48})
