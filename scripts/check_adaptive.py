@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Adaptive-tuning gate for CI: drift fires where injected, nowhere else.
+
+Consumes two ``repro loadgen`` artifacts produced against shadow-mode
+servers replaying the *same committed seeded trace* — a **stable** run
+(no faults) and a **drifted** run (the committed ``slow@`` fault plan
+stretches two consecutive executions of one signature) — and gates the
+loop's calibration:
+
+1. **Correctness first** — both runs completed every request with zero
+   failures, zero digest mismatches and zero unverified completions (an
+   adaptive loop is worthless the moment answers change), and both
+   artifacts carry an ``adaptive`` delta section (the servers really ran
+   with the loop enabled).
+2. **Determinism** — both artifacts replayed the committed trace (same
+   seed/skew/request count), so drift counts gate like against like.
+3. **No false positives** — the stable replay produced **zero** drift
+   events, zero would-be swaps and zero internal errors, and counted
+   every completed request as an observation.
+4. **No false negatives** — the drifted replay produced drift events
+   within the committed band, applied **zero** swaps (shadow observes,
+   never acts) and hit zero internal errors.
+
+Usage (CI)::
+
+    python -m repro loadgen --url $STABLE_URL \
+        --trace benchmarks/traces/cache_smoke_trace.json --clients 1 \
+        --out /tmp/adaptive_stable.json
+    python -m repro loadgen --url $DRIFTED_URL \
+        --trace benchmarks/traces/cache_smoke_trace.json --clients 1 \
+        --out /tmp/adaptive_drifted.json
+    python scripts/check_adaptive.py --stable /tmp/adaptive_stable.json \
+        --drifted /tmp/adaptive_drifted.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Trace-meta fields that must agree between an artifact and the baseline.
+TRACE_IDENTITY_KEYS = ("seed", "zipf_s", "requests", "mix")
+
+
+def load(path: Path) -> dict:
+    """Read one JSON artifact."""
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def correctness(name: str, artifact: dict) -> list[str]:
+    """Zero-tolerance correctness problems of one artifact (empty = OK)."""
+    problems = []
+    results = artifact.get("results")
+    if not isinstance(results, dict):
+        return [f"{name}: artifact has no 'results' section"]
+    expected = (artifact.get("meta") or {}).get("requests")
+    if results.get("completed") != expected:
+        problems.append(
+            f"{name}: only {results.get('completed')} of {expected} requests completed"
+        )
+    for key in ("failed", "mismatches", "skipped_verification"):
+        if results.get(key):
+            problems.append(f"{name}: {results[key]} {key.replace('_', ' ')}")
+    if not isinstance(artifact.get("adaptive"), dict):
+        problems.append(
+            f"{name}: artifact has no adaptive section (server ran with "
+            "--adaptive off, or predates the adaptive schema)"
+        )
+    return problems
+
+
+def trace_identity(name: str, artifact: dict, trace_meta: dict) -> list[str]:
+    """Problems with the artifact's claim to have replayed the trace."""
+    replayed = (artifact.get("meta") or {}).get("trace")
+    if not isinstance(replayed, dict):
+        return [f"{name}: artifact was not produced from a trace replay"]
+    problems = []
+    for key in TRACE_IDENTITY_KEYS:
+        if replayed.get(key) != trace_meta.get(key):
+            problems.append(
+                f"{name}: trace {key} is {replayed.get(key)!r}, the committed "
+                f"trace has {trace_meta.get(key)!r}"
+            )
+    return problems
+
+
+def loop_health(name: str, artifact: dict) -> list[str]:
+    """Problems every adaptive run must be free of, stable or drifted."""
+    adaptive = artifact["adaptive"]
+    problems = []
+    if adaptive.get("mode") != "shadow":
+        problems.append(
+            f"{name}: server ran --adaptive {adaptive.get('mode')!r}, the "
+            "gate expects shadow"
+        )
+    if adaptive.get("errors"):
+        problems.append(
+            f"{name}: {adaptive['errors']} internal adaptive errors — the "
+            "loop must never fail silently"
+        )
+    completed = artifact["results"]["completed"]
+    if adaptive.get("observations") != completed:
+        problems.append(
+            f"{name}: {adaptive.get('observations')} observations for "
+            f"{completed} completed requests — the loop is missing traffic"
+        )
+    if adaptive.get("swaps_applied"):
+        problems.append(
+            f"{name}: {adaptive['swaps_applied']} swaps applied in shadow "
+            "mode — shadow must observe, never act"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Gate the stable/drifted artifact pair; return the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stable", type=Path, required=True, help="no-fault loadgen JSON"
+    )
+    parser.add_argument(
+        "--drifted", type=Path, required=True, help="fault-injected loadgen JSON"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/results/adaptive_baseline.json"),
+        help="committed gate thresholds + trace identity + fault plan",
+    )
+    args = parser.parse_args(argv)
+
+    stable = load(args.stable)
+    drifted = load(args.drifted)
+    baseline = load(args.baseline)
+    gates = baseline["gates"]
+    trace_meta = load(Path(baseline["trace"]["path"]))["meta"]
+
+    failures = correctness("stable", stable) + correctness("drifted", drifted)
+    failures += trace_identity("stable", stable, trace_meta)
+    failures += trace_identity("drifted", drifted, trace_meta)
+
+    if not failures:
+        failures += loop_health("stable", stable) + loop_health("drifted", drifted)
+        stable_adaptive = stable["adaptive"]
+        drifted_adaptive = drifted["adaptive"]
+        print(
+            f"stable:  {stable_adaptive['observations']} observations, "
+            f"{stable_adaptive['drift_events']} drift events, "
+            f"{stable_adaptive['would_swap']} would-swap"
+        )
+        print(
+            f"drifted: {drifted_adaptive['observations']} observations, "
+            f"{drifted_adaptive['drift_events']} drift events "
+            f"(committed band {gates['min_drift_events']}.."
+            f"{gates['max_drift_events']}), "
+            f"{drifted_adaptive['shadow_evaluations']} shadow evaluations"
+        )
+        if stable_adaptive["drift_events"] > gates["max_stable_drift_events"]:
+            failures.append(
+                f"stable replay latched {stable_adaptive['drift_events']} drift "
+                f"events (allowed: {gates['max_stable_drift_events']}) — the "
+                "detector is firing on noise"
+            )
+        if stable_adaptive["would_swap"]:
+            failures.append(
+                f"stable replay proposed {stable_adaptive['would_swap']} swaps "
+                "with no drift injected"
+            )
+        if drifted_adaptive["drift_events"] < gates["min_drift_events"]:
+            failures.append(
+                f"drifted replay latched only {drifted_adaptive['drift_events']} "
+                f"drift events (committed minimum: {gates['min_drift_events']}) "
+                "— the injected slowdown went undetected"
+            )
+        if drifted_adaptive["drift_events"] > gates["max_drift_events"]:
+            failures.append(
+                f"drifted replay latched {drifted_adaptive['drift_events']} "
+                f"drift events (committed maximum: {gates['max_drift_events']}) "
+                "— drift is firing beyond the injected signature"
+            )
+
+    if failures:
+        print("\nadaptive check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"\nadaptive check OK: {trace_meta['requests']}-request replay "
+        f"(seed {trace_meta['seed']}) — 0 false positives stable, "
+        f"{drifted['adaptive']['drift_events']} drift events under the "
+        "committed fault plan, 0 swaps acted on, 0 errors"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,11 +15,14 @@ Four guarantees, all enforced in CI and mirrored by
    complete;
 4. every public class of the result-cache package (``repro.cache``) is
    mentioned in ``docs/caching.md`` — the caching page stays complete;
-5. every public class of the probabilistic app family (``viterbi.py``,
+5. every public class of the adaptive-tuning package (``repro.adaptive``)
+   is mentioned in ``docs/adaptive.md`` — the online-tuning loop page
+   stays complete;
+6. every public class of the probabilistic app family (``viterbi.py``,
    ``stochastic_path.py``, ``knapsack.py``) and every public helper of
    ``repro.runtime.compute`` is mentioned in ``docs/apps.md`` — the
    family's recurrence/witness/tolerance reference stays complete;
-6. every public module, class, function and method under ``src/repro`` has
+7. every public module, class, function and method under ``src/repro`` has
    a docstring (nested defs and ``_private`` names are exempt).
 
 Run from the repository root (CI does) or anywhere inside it:
@@ -41,6 +44,7 @@ ARCHITECTURE_DOC = REPO_ROOT / "docs" / "architecture.md"
 MEASURED_DOC = REPO_ROOT / "docs" / "measured-tuning.md"
 SERVING_DOC = REPO_ROOT / "docs" / "serving.md"
 CACHING_DOC = REPO_ROOT / "docs" / "caching.md"
+ADAPTIVE_DOC = REPO_ROOT / "docs" / "adaptive.md"
 #: Packages whose public classes must appear in docs/architecture.md.
 PACKAGES = ("apps", "runtime")
 #: Module whose public classes must appear in docs/measured-tuning.md.
@@ -49,6 +53,8 @@ MEASURED_MODULE = SRC_ROOT / "autotuner" / "measured.py"
 SERVER_PACKAGE = "server"
 #: Package whose public classes must appear in docs/caching.md.
 CACHE_PACKAGE = "cache"
+#: Package whose public classes must appear in docs/adaptive.md.
+ADAPTIVE_PACKAGE = "adaptive"
 #: The probabilistic app family + shared numerics reference page.
 APPS_DOC = REPO_ROOT / "docs" / "apps.md"
 #: Modules whose public classes must appear in docs/apps.md.
@@ -155,6 +161,9 @@ def main() -> int:
     cache = public_classes(CACHE_PACKAGE)
     total_classes += len(cache)
     problems += check_classes_mentioned(CACHING_DOC, cache)
+    adaptive = public_classes(ADAPTIVE_PACKAGE)
+    total_classes += len(adaptive)
+    problems += check_classes_mentioned(ADAPTIVE_DOC, adaptive)
     probabilistic: dict[str, str] = {
         name: origin
         for name, origin in module_functions(COMPUTE_MODULE).items()

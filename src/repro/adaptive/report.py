@@ -1,0 +1,97 @@
+"""Text report of the adaptive loop: predicted vs observed vs shadow choice.
+
+Renders the ``"adaptive"`` section of a ``/metrics`` snapshot (or of a
+``repro loadgen`` artifact's final server metrics) as the fig9-style
+table ``repro report --kind adaptive`` prints: one row per observed
+signature with the plan's predicted latency, the observed mean/p95, and
+— where a drift event triggered a shadow resolution — what the online
+tuner would run instead.
+"""
+
+from __future__ import annotations
+
+
+def _ms(value: float | None) -> str:
+    """Milliseconds with two decimals, or a dash for unknowns."""
+    return f"{value:.2f}" if value is not None else "-"
+
+
+def render_adaptive_report(adaptive: dict | None, delta: dict | None = None) -> str:
+    """The full ``repro report --kind adaptive`` text for one snapshot.
+
+    ``adaptive`` is the server's ``/metrics`` ``"adaptive"`` section
+    (``None`` when the server ran with ``--adaptive off``); ``delta`` —
+    when given — is a loadgen artifact's cold→warm adaptive counter delta,
+    appended as a per-run summary line.
+    """
+    if not isinstance(adaptive, dict):
+        return "adaptive tuning: off (no adaptive section in the metrics)"
+    lines: list[str] = []
+    lines.append(
+        f"adaptive tuning [{adaptive.get('mode', '?')}]: "
+        f"{adaptive.get('observations', 0)} served observations "
+        f"(+{adaptive.get('run_observations', 0)} session runs) over "
+        f"{adaptive.get('tracked_signatures', 0)} signatures"
+    )
+    signatures = adaptive.get("signatures") or {}
+    proposals = {
+        d.get("signature"): d
+        for d in (adaptive.get("shadow") or {}).get("decisions", [])
+    }
+    installed = (adaptive.get("swaps") or {}).get("installed", {})
+    if signatures:
+        width = max(len("signature"), max(len(label) for label in signatures))
+        header = (
+            f"{'signature':<{width}} {'predicted':>10} {'observed':>10} "
+            f"{'p95':>10} {'n':>5}  shadow choice"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, stats in signatures.items():
+            proposal = proposals.get(label)
+            choice = "-"
+            if proposal is not None:
+                prop = proposal.get("proposed", {})
+                verb = "swap to" if proposal.get("would_swap") else "keep"
+                choice = (
+                    f"{verb} {prop.get('backend')}"
+                    f"(workers={prop.get('workers')}, "
+                    f"tile={prop.get('cpu_tile')}) [{proposal.get('reason')}]"
+                )
+            if label in installed:
+                choice += "  << LIVE"
+            lines.append(
+                f"{label:<{width}} {_ms(stats.get('expected_ms')):>10} "
+                f"{_ms(stats.get('mean_ms')):>10} {_ms(stats.get('p95_ms')):>10} "
+                f"{stats.get('count', 0):>5}  {choice}"
+            )
+    drift = adaptive.get("drift") or {}
+    swaps = adaptive.get("swaps") or {}
+    lines.append(
+        f"drift: {drift.get('events', 0)} events "
+        f"({drift.get('active', 0)} active, "
+        f"{drift.get('recoveries', 0)} recoveries) over "
+        f"{drift.get('assessments', 0)} assessments"
+    )
+    lines.append(
+        f"swaps: {swaps.get('applied', 0)} applied "
+        f"({swaps.get('confirmed', 0)} confirmed, "
+        f"{swaps.get('rolled_back', 0)} rolled back, "
+        f"budget {swaps.get('budget', 0)}); "
+        f"shadow evaluations: {(adaptive.get('shadow') or {}).get('evaluations', 0)}"
+    )
+    if adaptive.get("errors"):
+        lines.append(
+            f"ERRORS: {adaptive['errors']} internal failures "
+            f"(last: {adaptive.get('last_error')})"
+        )
+    if isinstance(delta, dict):
+        lines.append(
+            "this run: "
+            f"+{delta.get('observations', 0)} observations, "
+            f"+{delta.get('drift_events', 0)} drift events, "
+            f"+{delta.get('shadow_evaluations', 0)} shadow evaluations, "
+            f"+{delta.get('swaps_applied', 0)} swaps "
+            f"(+{delta.get('swaps_rolled_back', 0)} rolled back)"
+        )
+    return "\n".join(lines)

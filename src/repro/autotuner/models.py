@@ -64,6 +64,13 @@ class LearnedTuner(Tuner):
         default_factory=lambda: M5ModelTree(min_leaf=3, smoothing_k=5.0)
     )
     halo_model: M5ModelTree | None = None
+    #: Best observed runtime per training instance, keyed by
+    #: ``(dim, tsize, dsize)``.  Filled by :meth:`fit`; lets :meth:`resolve`
+    #: report an ``expected_s`` (nearest-anchor lookup) so serving-time
+    #: drift detection has a prediction to compare live latencies against.
+    runtime_anchors: dict[tuple[float, float, float], float] = field(
+        default_factory=dict
+    )
     fitted: bool = False
 
     # ------------------------------------------------------------------
@@ -101,6 +108,21 @@ class LearnedTuner(Tuner):
         else:
             self.supports_gpu = False
             self.halo_model = None
+
+        # Runtime anchors: the best rtime seen per training instance.  The
+        # training set only keeps each instance's best-n configurations, so
+        # the per-instance minimum is the instance's tuned-runtime estimate.
+        anchors: dict[tuple[float, float, float], float] = {}
+        for record in training.records:
+            key = (
+                float(record["dim"]),
+                float(record["tsize"]),
+                float(record["dsize"]),
+            )
+            rtime = float(record["rtime"])
+            if key not in anchors or rtime < anchors[key]:
+                anchors[key] = rtime
+        self.runtime_anchors = anchors
         self.fitted = True
         return self
 
@@ -153,16 +175,41 @@ class LearnedTuner(Tuner):
             cpu_tile=cpu_tile, band=band, halo=halo, gpu_tile=gpu_tile
         ).clipped(dim)
 
+    def expected_runtime(self, params: InputParams) -> float | None:
+        """Runtime estimate from the nearest training anchor, or ``None``.
+
+        Nearest in log-space on (dim, tsize) with a mismatch penalty on
+        dsize — the same geometry-dominated distance the measured tuner uses
+        for instance anchoring.  A bundle restored from a pre-anchor
+        serialisation has no anchors and answers ``None``.
+        """
+        if not self.runtime_anchors:
+            return None
+
+        def distance(key: tuple[float, float, float]) -> float:
+            dim, tsize, dsize = key
+            d = abs(np.log(max(params.dim, 1)) - np.log(max(dim, 1.0)))
+            d += abs(np.log(max(params.tsize, 1)) - np.log(max(tsize, 1.0)))
+            d += 0.0 if float(params.dsize) == dsize else 0.5
+            return float(d)
+
+        nearest = min(self.runtime_anchors, key=distance)
+        return float(self.runtime_anchors[nearest])
+
     def resolve(self, app: str, params: InputParams) -> PlanDecision:
         """The :class:`~repro.autotuner.protocol.Tuner` protocol entry point.
 
         A bare model bundle carries no cost model or profile, so the answer
-        is the predicted tunables on the hybrid executor with no runtime
-        estimate and the default engine selection left to the runtime.
+        is the predicted tunables on the hybrid executor with the default
+        engine selection left to the runtime; the runtime estimate comes
+        from the nearest training anchor (:meth:`expected_runtime`).
         """
         tunables = self.predict(params.features())
         return PlanDecision(
-            backend="hybrid", tunables=tunables.clipped(params.dim), workers=1
+            backend="hybrid",
+            tunables=tunables.clipped(params.dim),
+            workers=1,
+            expected_s=self.expected_runtime(params),
         )
 
     def describe(self) -> str:
@@ -199,6 +246,10 @@ class LearnedTuner(Tuner):
             "gpu_use_model": self.gpu_use_model.to_dict(),
             "band_model": self.band_model.to_dict() if self.supports_gpu else None,
             "halo_model": self.halo_model.to_dict() if self.halo_model is not None else None,
+            "runtime_anchors": [
+                [dim, tsize, dsize, rtime]
+                for (dim, tsize, dsize), rtime in sorted(self.runtime_anchors.items())
+            ],
         }
 
     @classmethod
@@ -219,5 +270,9 @@ class LearnedTuner(Tuner):
             tuner.band_model = M5ModelTree.from_dict(data["band_model"])
         if data.get("halo_model"):
             tuner.halo_model = M5ModelTree.from_dict(data["halo_model"])
+        tuner.runtime_anchors = {
+            (float(dim), float(tsize), float(dsize)): float(rtime)
+            for dim, tsize, dsize, rtime in data.get("runtime_anchors", [])
+        }
         tuner.fitted = True
         return tuner

@@ -58,6 +58,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.adaptive import ADAPTIVE_MODES, render_adaptive_report
 from repro.analysis.heatmap import build_heatmap
 from repro.analysis.report import render_heatmap
 from repro.apps.registry import available_applications
@@ -412,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
         "a cache section",
     )
     serve.add_argument(
+        "--adaptive",
+        default="shadow",
+        choices=ADAPTIVE_MODES,
+        help="online adaptive tuning: 'shadow' (default) observes live "
+        "latencies, detects plan-vs-reality drift and logs would-be plan "
+        "swaps without changing behaviour; 'live' additionally promotes "
+        "them to rollback-guarded plan swaps; 'off' disables the loop",
+    )
+    serve.add_argument(
         "--metrics-out",
         type=Path,
         default=None,
@@ -565,7 +575,7 @@ def _add_report_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kind",
         default="heatmap",
-        choices=("heatmap", "measured"),
+        choices=("heatmap", "measured", "adaptive"),
         help="which report to render (default: heatmap)",
     )
     _add_system_arg(parser, "i7-2600K", local=False)
@@ -582,6 +592,13 @@ def _add_report_args(parser: argparse.ArgumentParser) -> None:
         type=Path,
         default=DEFAULT_MODEL_PATH,
         help="trained measured model for --kind measured",
+    )
+    parser.add_argument(
+        "--metrics-file",
+        type=Path,
+        default=DEFAULT_BENCH_DIR / "serve_metrics.json",
+        help="metrics snapshot (serve --metrics-out) or loadgen artifact "
+        "for --kind adaptive",
     )
     parser.add_argument(
         "--out",
@@ -944,6 +961,8 @@ def cmd_report(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
         )
     if args.kind == "measured":
         return _report_measured(args)
+    if args.kind == "adaptive":
+        return _report_adaptive(args)
     with Session(system=args.system, tuner="exhaustive") as session:
         results = session.sweep(_space(args.space))
         print(
@@ -984,6 +1003,35 @@ def _report_measured(args: argparse.Namespace) -> int:
         print(report_path.read_text(encoding="utf-8"))
         if args.out is not None:
             print(f"wrote predicted-vs-measured report to {report_path}")
+    return EXIT_OK
+
+
+def _report_adaptive(args: argparse.Namespace) -> int:
+    """Render the adaptive predicted-vs-observed report from a metrics file.
+
+    Accepts either shape the serving stack writes: a ``/metrics`` snapshot
+    (``serve --metrics-out``, adaptive state under ``"adaptive"``) or a
+    loadgen artifact (server snapshot under ``"server_metrics"``, with the
+    run's counter delta under the artifact's own ``"adaptive"`` key).
+    """
+    path = args.metrics_file
+    if not path.exists():
+        raise ArtifactError(
+            f"no metrics file at {path}; run 'repro-tune serve --metrics-out "
+            f"{path}' or 'repro-tune loadgen --out {path}' first"
+        )
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"cannot read metrics file {path}: {exc}") from None
+    if "server_metrics" in payload:  # loadgen artifact
+        adaptive = (payload.get("server_metrics") or {}).get("adaptive")
+        delta = payload.get("adaptive")
+    else:  # plain /metrics snapshot
+        adaptive = payload.get("adaptive")
+        delta = None
+    print(f"adaptive report from {path}")
+    print(render_adaptive_report(adaptive, delta=delta))
     return EXIT_OK
 
 
@@ -1035,6 +1083,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 ),
                 shards=args.shards,
                 degraded_fallback=args.degraded_fallback,
+                adaptive=args.adaptive,
             ),
             own_session=True,
             session_factory=session_factory,
@@ -1064,7 +1113,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"serving {session.system.name} on {endpoint.url}  "
             f"(queue={args.queue_size}, max-batch={args.max_batch}, "
             f"workers={args.server_workers}, shards={args.shards}, "
-            f"deadline={args.default_deadline:g}s, mode={args.mode})"
+            f"deadline={args.default_deadline:g}s, mode={args.mode}, "
+            f"adaptive={args.adaptive})"
         )
         if len(fault_plan):
             print(f"chaos plan armed: {fault_plan.describe()}")
@@ -1103,6 +1153,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{supervisor.get('redispatches', 0)} redispatches, "
         f"{supervisor.get('faults_injected', 0)} faults injected"
     )
+    adaptive = metrics.get("adaptive")
+    if adaptive is not None:
+        drift = adaptive.get("drift", {})
+        swaps = adaptive.get("swaps", {})
+        shadow = adaptive.get("shadow", {})
+        print(
+            f"adaptive ({adaptive.get('mode')}): "
+            f"{adaptive.get('observations', 0)} observations, "
+            f"{drift.get('events', 0)} drift events, "
+            f"{shadow.get('would_swap', 0)} would-swap, "
+            f"{swaps.get('applied', 0)} swaps applied "
+            f"({swaps.get('rolled_back', 0)} rolled back)"
+        )
     return EXIT_OK
 
 
@@ -1216,6 +1279,15 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             f"cache: {cache['hit_rate']:.1%} hit rate over {cache['lookups']} "
             f"lookups (memory {cache['memory_hits']}, disk {cache['disk_hits']}, "
             f"coalesced {cache['coalesced']}, misses {cache['misses']})"
+        )
+    adaptive = payload.get("adaptive")
+    if adaptive is not None:
+        print(
+            f"adaptive ({adaptive.get('mode')}): "
+            f"{adaptive['observations']} observations, "
+            f"{adaptive['drift_events']} drift events, "
+            f"{adaptive['would_swap']} would-swap, "
+            f"{adaptive['swaps_applied']} swaps applied this run"
         )
     results = payload["results"]
     if results["completed"] == 0:

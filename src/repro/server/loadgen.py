@@ -58,7 +58,10 @@ from repro.server.metrics import summarise_latencies
 #: v4: verification digests the ``(grid, witness)`` pair instead of the grid
 #: alone, and ``results.witness_verified`` counts requests whose full pair
 #: matched the reference (gated against ``completed`` in CI).
-LOADGEN_FORMAT_VERSION = 4
+#: v5: an ``adaptive`` section (per-run delta of the server's adaptive-tuning
+#: counters — observations, drift events, shadow evaluations, swaps),
+#: mirroring the ``cache`` section's cold/warm accounting.
+LOADGEN_FORMAT_VERSION = 5
 
 #: Cap of the jittered exponential retry backoff (seconds).
 RETRY_CAP_S = 1.0
@@ -375,6 +378,43 @@ def _cache_delta(before: dict | None, after: dict | None) -> dict | None:
     return delta
 
 
+def _adaptive_delta(before: dict | None, after: dict | None) -> dict | None:
+    """This run's share of the server's adaptive-tuning counters.
+
+    Same accounting as :func:`_cache_delta`: the adaptive controller's
+    counters are cumulative since server start-up, so subtracting the
+    pre-run snapshot isolates what this workload triggered (a stable replay
+    should show zero drift events of its own even against a server that
+    drifted earlier).  ``None`` when the target exposes no adaptive section
+    (``--adaptive off`` or an old server).
+    """
+    if not isinstance(after, dict):
+        return None
+    before = before if isinstance(before, dict) else {}
+
+    def counter(snapshot: dict, *path: str) -> int:
+        value: object = snapshot
+        for key in path:
+            value = value.get(key, 0) if isinstance(value, dict) else 0
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    paths = {
+        "observations": ("observations",),
+        "drift_events": ("drift", "events"),
+        "shadow_evaluations": ("shadow", "evaluations"),
+        "would_swap": ("shadow", "would_swap"),
+        "swaps_applied": ("swaps", "applied"),
+        "swaps_rolled_back": ("swaps", "rolled_back"),
+        "errors": ("errors",),
+    }
+    delta = {
+        name: counter(after, *path) - counter(before, *path)
+        for name, path in paths.items()
+    }
+    delta["mode"] = after.get("mode")
+    return delta
+
+
 # ----------------------------------------------------------------------
 # The run loop
 # ----------------------------------------------------------------------
@@ -436,9 +476,12 @@ def run_loadgen(
     }
     errors: list[str] = []
     try:
-        cache_before = target.metrics().get("cache")
+        metrics_before = target.metrics()
+        cache_before = metrics_before.get("cache")
+        adaptive_before = metrics_before.get("adaptive")
     except Exception:  # noqa: BLE001 - the pre-run snapshot is best-effort
         cache_before = None
+        adaptive_before = None
 
     def next_index() -> int | None:
         """Claim the next global request index (None when exhausted)."""
@@ -590,6 +633,12 @@ def run_loadgen(
         "cache": _cache_delta(
             cache_before,
             server_metrics.get("cache") if isinstance(server_metrics, dict) else None,
+        ),
+        "adaptive": _adaptive_delta(
+            adaptive_before,
+            server_metrics.get("adaptive")
+            if isinstance(server_metrics, dict)
+            else None,
         ),
         "reference": (
             {

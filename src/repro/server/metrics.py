@@ -8,7 +8,11 @@ lock:
 * a bounded latency reservoir (most recent ``reservoir_size`` end-to-end
   service latencies) from which the percentiles are computed;
 * a batch-size histogram, the direct evidence of how well the coalescing
-  scheduler is amortising plan resolution.
+  scheduler is amortising plan resolution;
+* a bounded per-signature latency breakdown (one
+  :class:`repro.adaptive.observations.SignatureStats` per traffic class,
+  LRU over at most ``signature_limit`` signatures) — what the drift
+  detector reasons about and what operators need to see per workload.
 
 :meth:`ServerMetrics.snapshot` renders everything as a JSON-safe dictionary
 — the payload of the HTTP endpoint's ``GET /metrics`` and of the
@@ -20,10 +24,16 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, deque
+from collections import Counter, OrderedDict, deque
+from typing import Hashable
+
+from repro.adaptive.observations import SignatureStats, signature_label
 
 #: Default number of most-recent latency samples kept for percentiles.
 DEFAULT_RESERVOIR_SIZE = 4096
+
+#: Default bound on distinct signatures in the per-signature breakdown.
+DEFAULT_SIGNATURE_LIMIT = 64
 
 #: Percentile points reported in every snapshot.
 PERCENTILES = (50, 90, 95, 99)
@@ -60,11 +70,17 @@ class ServerMetrics:
     taken at any time, including after shutdown.
     """
 
-    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
+    def __init__(
+        self,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        signature_limit: int = DEFAULT_SIGNATURE_LIMIT,
+    ) -> None:
         self._lock = threading.Lock()
         self._started_at = time.perf_counter()
         self._latencies_s: deque[float] = deque(maxlen=max(1, int(reservoir_size)))
         self._batch_sizes: Counter[int] = Counter()
+        self._signature_limit = max(1, int(signature_limit))
+        self._signatures: OrderedDict[Hashable, SignatureStats] = OrderedDict()
         self.accepted = 0
         self.rejected = 0
         self.completed = 0
@@ -94,12 +110,30 @@ class ServerMetrics:
                 self.accepted -= 1
                 self.in_flight -= 1
 
-    def record_completed(self, latency_s: float) -> None:
-        """One request finished successfully after ``latency_s`` seconds."""
+    def record_completed(
+        self, latency_s: float, signature: Hashable = None
+    ) -> None:
+        """One request finished successfully after ``latency_s`` seconds.
+
+        With ``signature`` given, the latency also feeds that traffic
+        class's per-signature breakdown (bounded: the least-recently
+        updated signature is dropped past ``signature_limit``).
+        """
         with self._lock:
             self.completed += 1
             self.in_flight -= 1
             self._latencies_s.append(latency_s)
+            if signature is not None:
+                stats = self._signatures.get(signature)
+                if stats is None:
+                    stats = SignatureStats()
+                    self._signatures[signature] = stats
+                else:
+                    self._signatures.move_to_end(signature)
+                while len(self._signatures) > self._signature_limit:
+                    self._signatures.popitem(last=False)
+        if signature is not None:
+            stats.record(latency_s)
 
     def record_failed(self, latency_s: float | None) -> None:
         """One admitted request failed after ``latency_s`` seconds.
@@ -169,6 +203,7 @@ class ServerMetrics:
         caches: dict | None = None,
         cache: dict | None = None,
         supervisor: dict | None = None,
+        adaptive: dict | None = None,
     ) -> dict:
         """JSON-safe view of everything collected so far.
 
@@ -179,6 +214,9 @@ class ServerMetrics:
         (:meth:`repro.cache.ResultCache.info`); it is always present in the
         snapshot — ``None`` when no ``--cache-dir`` is configured — so
         artifact consumers can distinguish "cache off" from "old schema".
+        ``adaptive`` (the adaptive controller's
+        :meth:`~repro.adaptive.AdaptiveController.snapshot`) follows the
+        same always-present convention: ``None`` means ``--adaptive off``.
         ``supervisor`` is the shard supervisor's :meth:`info` (shard states,
         restarts, re-dispatches, faults survived); included when provided.
         """
@@ -214,7 +252,17 @@ class ServerMetrics:
                 "latency_ms": summarise_latencies(list(self._latencies_s)),
                 "throughput_rps": (self.completed / uptime) if uptime > 0 else 0.0,
             }
+            per_signature = list(self._signatures.items())[::-1]
+        snapshot["signatures"] = {
+            (
+                signature_label(sig)
+                if isinstance(sig, tuple) and len(sig) == 4
+                else repr(sig)
+            ): stats.snapshot()
+            for sig, stats in per_signature
+        }
         snapshot["cache"] = cache
+        snapshot["adaptive"] = adaptive
         if caches is not None:
             snapshot["caches"] = caches
         if supervisor is not None:

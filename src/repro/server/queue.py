@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.adaptive.observations import observation_signature
 from repro.core.exceptions import BackpressureError, DeadlineError, ServerError
 
 #: Hashable request signature: ``(app, dim, mode, sorted plan overrides)``.
@@ -37,15 +38,12 @@ def request_signature(
 
     Two requests with equal signatures resolve to the same tuned plan (same
     application instance, same overrides, same execution mode), so the
-    scheduler may serve them in one batch.  Override values are keyed by
-    ``repr`` so unhashable values (lists, dicts) never break admission.
+    scheduler may serve them in one batch.  Delegates to
+    :func:`repro.adaptive.observations.observation_signature` — the one
+    canonical signature implementation — so coalescing keys and adaptive
+    observation keys can never diverge.
     """
-    return (
-        str(app),
-        dim,
-        mode,
-        tuple(sorted((k, repr(v)) for k, v in plan_kwargs.items())),
-    )
+    return observation_signature(app, dim, mode, plan_kwargs)
 
 
 @dataclass

@@ -37,6 +37,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.adaptive.controller import (
+    ADAPTIVE_MODES,
+    AdaptiveConfig,
+    AdaptiveController,
+)
 from repro.core.exceptions import (
     BackpressureError,
     DeadlineError,
@@ -77,6 +82,12 @@ class ServerConfig:
     the server's session); ``degraded_fallback`` makes the scheduler solve
     directly on the server's session when every shard is unavailable,
     instead of shedding the request with 429.
+
+    ``adaptive`` selects how far the online tuning loop runs
+    (:data:`repro.adaptive.ADAPTIVE_MODES`): ``"off"`` builds no
+    controller, ``"shadow"`` (the default) observes, detects drift and
+    logs would-be decisions, ``"live"`` additionally promotes them to
+    rollback-guarded plan swaps.
     """
 
     queue_capacity: int = DEFAULT_QUEUE_CAPACITY
@@ -86,6 +97,7 @@ class ServerConfig:
     default_deadline_s: float | None = DEFAULT_DEADLINE_S
     shards: int = 1
     degraded_fallback: bool = False
+    adaptive: str = "shadow"
 
     def __post_init__(self) -> None:
         """Validate the knobs once, at construction."""
@@ -104,6 +116,10 @@ class ServerConfig:
             )
         if self.shards < 1:
             raise ServerError(f"shards must be >= 1, got {self.shards}")
+        if self.adaptive not in ADAPTIVE_MODES:
+            raise ServerError(
+                f"adaptive must be one of {ADAPTIVE_MODES}, got {self.adaptive!r}"
+            )
 
 
 class ReproServer:
@@ -130,6 +146,7 @@ class ReproServer:
         session_factory: Callable[[int], Session] | None = None,
         supervisor_config: SupervisorConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        adaptive_config: AdaptiveConfig | None = None,
     ) -> None:
         self.session = session
         self.config = config if config is not None else ServerConfig()
@@ -154,6 +171,22 @@ class ReproServer:
             config=supervisor_config,
             fault_plan=fault_plan,
         )
+        # The online tuning loop.  An explicit adaptive_config wins; the
+        # ServerConfig.adaptive mode otherwise selects the defaults; "off"
+        # builds nothing and costs nothing on the serving path.
+        if adaptive_config is None:
+            adaptive_config = AdaptiveConfig(mode=self.config.adaptive)
+        self.adaptive: AdaptiveController | None = None
+        if adaptive_config.mode != "off":
+            self.adaptive = AdaptiveController(
+                session, adaptive_config, sessions=self._adaptive_sessions
+            )
+
+    def _adaptive_sessions(self) -> list[Session]:
+        """Every session a live plan swap must reach (server + shards)."""
+        sessions = [self.session]
+        sessions.extend(shard.session for shard in self.supervisor.shards)
+        return sessions
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -166,6 +199,11 @@ class ReproServer:
             if self._started:
                 return self
             self.supervisor.start()
+            if self.adaptive is not None:
+                # Shard sessions exist by now; their pure solve walls feed
+                # the run-observation log (shadow retraining evidence).
+                for session in {id(s): s for s in self._adaptive_sessions()}.values():
+                    session.attach_observer(self.adaptive.record_run)
             for index in range(self.config.workers):
                 thread = threading.Thread(
                     target=self._worker_loop,
@@ -337,6 +375,9 @@ ShardUnavailableError` subclass when every shard's restart budget is
                 else None
             ),
             supervisor=self.supervisor.info(),
+            adaptive=(
+                self.adaptive.snapshot() if self.adaptive is not None else None
+            ),
         )
 
     def readiness(self) -> dict:
@@ -409,6 +450,7 @@ ShardUnavailableError` subclass when every shard's restart budget is
         # tightest one is the only one that can expire first.
         deadlines = [r.deadline_at for r in batch if r.deadline_at is not None]
         deadline_at = min(deadlines) if deadlines else None
+        executed_at = time.perf_counter()
         try:
             result = self.supervisor.execute(
                 batch[0].as_request(),
@@ -441,9 +483,22 @@ ShardUnavailableError` subclass when every shard's restart budget is
                 self.metrics_store.record_failed(now - request.enqueued_at)
             return
         now = time.perf_counter()
+        service_s = now - executed_at
         for request in batch:
             request.complete(result)
-            self.metrics_store.record_completed(now - request.enqueued_at)
+            self.metrics_store.record_completed(
+                now - request.enqueued_at, signature=request.signature
+            )
+        if self.adaptive is not None:
+            head = batch[0]
+            self.adaptive.observe(
+                head.app,
+                head.dim,
+                head.mode,
+                head.plan_kwargs,
+                service_s,
+                count=len(batch),
+            )
 
     def _serve_degraded(self, batch: list[ServeRequest]) -> None:
         """Answer one batch directly on the server's session (last resort).
@@ -453,6 +508,7 @@ ShardUnavailableError` subclass when every shard's restart budget is
         session.  Deterministic execution keeps the response bit-exact with
         what a shard would have produced.
         """
+        executed_at = time.perf_counter()
         try:
             result = self.session.solve_many(
                 [batch[0].as_request()], mode=batch[0].mode
@@ -464,6 +520,19 @@ ShardUnavailableError` subclass when every shard's restart budget is
                 self.metrics_store.record_failed(now - request.enqueued_at)
             return
         now = time.perf_counter()
+        service_s = now - executed_at
         for request in batch:
             request.complete(result)
-            self.metrics_store.record_completed(now - request.enqueued_at)
+            self.metrics_store.record_completed(
+                now - request.enqueued_at, signature=request.signature
+            )
+        if self.adaptive is not None:
+            head = batch[0]
+            self.adaptive.observe(
+                head.app,
+                head.dim,
+                head.mode,
+                head.plan_kwargs,
+                service_s,
+                count=len(batch),
+            )

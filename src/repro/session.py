@@ -152,11 +152,15 @@ class Session:
         self._plan_lock = threading.RLock()
         self._run_lock = threading.RLock()
         self._closed = False
+        #: Run observer (``observer(plan, mode, wall_s)``) — see
+        #: :meth:`attach_observer`; ``None`` = no observation.
+        self._observer: Callable[[ResolvedPlan, ExecutionMode, float], None] | None = None
         #: Request counters surfaced by :meth:`cache_info`.
         self.stats: dict[str, int] = {
             "plans_resolved": 0,
             "runs": 0,
             "requests_served": 0,
+            "plans_adopted": 0,
         }
 
     # ------------------------------------------------------------------
@@ -197,6 +201,41 @@ class Session:
         with self._plan_lock:
             self._tuner = tuner
             self._plans.clear()
+        return self
+
+    def adopt_plan(self, plan: ResolvedPlan) -> ResolvedPlan:
+        """Atomically install ``plan`` as the cached answer for its query.
+
+        The plan replaces whatever the tuned-plan LRU holds for the same
+        tuner-resolved query — ``(plan.app, plan.dim, plan.app_kwargs)``
+        with no overrides — so every subsequent :meth:`plan`/:meth:`solve`
+        call for that signature executes the adopted plan.  This is the
+        adaptive controller's promotion primitive
+        (:class:`repro.adaptive.AdaptiveController`): the LRU ``put`` runs
+        under the plan lock, so concurrent planners observe either the old
+        plan or the new one, never a mixture.  Manual-override queries
+        (explicit ``backend=``/``tunables=``) are unaffected.
+        """
+        with self._plan_lock:
+            self._check_open()
+            query = (plan.app, plan.dim, plan.app_kwargs, None, None, None, None)
+            self.stats["plans_adopted"] += 1
+            return self._plans.put(query, plan)
+
+    def attach_observer(
+        self,
+        observer: Callable[[ResolvedPlan, ExecutionMode, float], None] | None,
+    ) -> "Session":
+        """Register a run observer called after every :meth:`run`.
+
+        ``observer(plan, mode, wall_s)`` receives the executed plan, the
+        effective execution mode and the pure solve wall (executor time
+        only — no queueing, no serving overhead).  The adaptive layer uses
+        this as its session-side observation feed; pass ``None`` to
+        detach.  The observer is invoked outside error paths — a run that
+        raises is not observed — and must be cheap and exception-free.
+        """
+        self._observer = observer
         return self
 
     # ------------------------------------------------------------------
@@ -364,7 +403,11 @@ class Session:
             self._check_open()
             executor = self.host.executor_for(strategy, engine, plan.workers)
             self.stats["runs"] += 1
-            return executor.execute(problem, plan.tunables, mode=mode)
+            started = time.perf_counter()
+            result = executor.execute(problem, plan.tunables, mode=mode)
+            if self._observer is not None:
+                self._observer(plan, mode, time.perf_counter() - started)
+            return result
 
     def solve(
         self,

@@ -1,0 +1,19 @@
+"""Shared fixtures of the adaptive-tuning tests.
+
+Mirrors the serving suite: one module-scoped session over the shared
+tiny-space learned tuner, so the suite trains once and every in-process
+server borrows the same warmed plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def adaptive_session(quick_tuner_i3, i3):
+    """A session over the shared tiny-space tuner, shared across tests."""
+    with Session(system=i3, tuner=quick_tuner_i3) as session:
+        yield session
