@@ -8,6 +8,8 @@ without reading the source:
   (the serving subsystem exports);
 * the public method signatures of the facade types —
   :class:`repro.session.Session`, :class:`repro.facade.plan.ResolvedPlan`,
+  :class:`repro.facade.policy.ExecutionPolicy`,
+  :class:`repro.runtime.registry.EngineSpec`,
   :class:`repro.autotuner.protocol.Tuner` and
   :class:`repro.autotuner.protocol.PlanDecision` — and of the serving
   types :class:`repro.server.ReproServer` / :class:`repro.server.ServerConfig`
@@ -67,6 +69,8 @@ def current_surface() -> dict:
     from repro.autotuner.protocol import PlanDecision, Tuner
     from repro.cli import build_parser
     from repro.facade.plan import ResolvedPlan
+    from repro.facade.policy import ExecutionPolicy
+    from repro.runtime.registry import EngineSpec
     from repro.server import LoadgenConfig, ReproServer, ServerConfig
     from repro.session import Session
 
@@ -80,6 +84,9 @@ def current_surface() -> dict:
         "Session": _signatures(Session),
         "ResolvedPlan.fields": _dataclass_fields(ResolvedPlan),
         "ResolvedPlan": _signatures(ResolvedPlan),
+        "ExecutionPolicy.fields": _dataclass_fields(ExecutionPolicy),
+        "ExecutionPolicy": _signatures(ExecutionPolicy),
+        "EngineSpec.fields": _dataclass_fields(EngineSpec),
         "PlanDecision.fields": _dataclass_fields(PlanDecision),
         "Tuner": _signatures(Tuner),
         "ReproServer.__init__": str(inspect.signature(ReproServer.__init__)),

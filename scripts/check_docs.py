@@ -22,7 +22,10 @@ Four guarantees, all enforced in CI and mirrored by
    ``stochastic_path.py``, ``knapsack.py``) and every public helper of
    ``repro.runtime.compute`` is mentioned in ``docs/apps.md`` — the
    family's recurrence/witness/tolerance reference stays complete;
-7. every public module, class, function and method under ``src/repro`` has
+7. every public class of the execution-policy module
+   (``repro.facade.policy``) is mentioned in ``docs/api.md`` — the typed
+   override surface stays documented where users plan;
+8. every public module, class, function and method under ``src/repro`` has
    a docstring (nested defs and ``_private`` names are exempt).
 
 Run from the repository root (CI does) or anywhere inside it:
@@ -67,6 +70,10 @@ PROBABILISTIC_MODULES = (
 #: its public surface is generic sweep machinery, covered elsewhere).
 COMPUTE_MODULE = SRC_ROOT / "runtime" / "compute.py"
 SEMIRING_HELPERS = ("logsumexp", "logsumexp_pair", "max_product_pair")
+#: The session API reference page.
+API_DOC = REPO_ROOT / "docs" / "api.md"
+#: Module whose public classes must appear in docs/api.md.
+POLICY_MODULE = SRC_ROOT / "facade" / "policy.py"
 
 
 def public_classes(package: str) -> dict[str, str]:
@@ -173,6 +180,9 @@ def main() -> int:
         probabilistic.update(module_classes(module))
     total_classes += len(probabilistic)
     problems += check_classes_mentioned(APPS_DOC, probabilistic)
+    policy = module_classes(POLICY_MODULE)
+    total_classes += len(policy)
+    problems += check_classes_mentioned(API_DOC, policy)
     gaps = docstring_gaps(SRC_ROOT)
     problems += gaps
 

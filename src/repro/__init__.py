@@ -54,6 +54,8 @@ from repro.runtime.result import ExecutionResult
 from repro.autotuner.protocol import PlanDecision, Tuner
 from repro.autotuner.tuner import AutoTuner, autotune_and_run
 from repro.facade.plan import ResolvedPlan, load_plan, save_plan
+from repro.facade.policy import ExecutionPolicy
+from repro.runtime.registry import EngineSpec
 from repro.session import Session
 
 __all__ = [
@@ -71,6 +73,8 @@ __all__ = [
     "autotune_and_run",
     "Session",
     "ResolvedPlan",
+    "ExecutionPolicy",
+    "EngineSpec",
     "PlanDecision",
     "Tuner",
     "save_plan",

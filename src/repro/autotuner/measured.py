@@ -72,6 +72,8 @@ PROFILED_BACKENDS = (
     "vectorized",
     "cpu-parallel",
     "mp-parallel",
+    "pipelined",
+    "compiled",
     "hybrid-vectorized",
     "hybrid-mp",
 )
@@ -391,6 +393,19 @@ def _worker_candidates(system: SystemSpec) -> tuple[int, ...]:
     return tuple(dict.fromkeys(counts))
 
 
+def _backend_available(name: str) -> bool:
+    """Whether one profiled backend can run in this environment.
+
+    Consults the registry's availability probes (the compiled tier without
+    :mod:`numba`, the vectorized engine without NumPy); the hybrid aliases
+    are always constructible.
+    """
+    from repro.runtime.registry import ENGINE_SPECS
+
+    spec = ENGINE_SPECS.get(name)
+    return True if spec is None else spec.is_available()
+
+
 def _backend_executor(name: str, system: SystemSpec, workers: int):
     """Construct the functional executor behind one profiled backend name."""
     from repro.runtime.registry import get_executor
@@ -399,8 +414,8 @@ def _backend_executor(name: str, system: SystemSpec, workers: int):
         return get_executor("hybrid", system, cpu_engine="vectorized")
     if name == "hybrid-mp":
         return get_executor("hybrid", system, cpu_engine="mp", workers=workers)
-    if name == "mp-parallel":
-        return get_executor("mp-parallel", system, workers=workers)
+    if name in ("mp-parallel", "pipelined"):
+        return get_executor(name, system, workers=workers)
     return get_executor(name, system)
 
 
@@ -414,11 +429,11 @@ def _backend_configs(
     the instance), and the multicore ones additionally sweep worker counts.
     """
     tiles = tuple(dict.fromkeys(min(t, dim) for t in config.tiles))
-    if name in ("serial", "vectorized"):
+    if name in ("serial", "vectorized", "compiled"):
         return [(TunableParams(cpu_tile=1), 1)]
     if name == "hybrid-vectorized":
         return [(TunableParams(cpu_tile=tiles[0]), 1)]
-    if name in ("mp-parallel", "hybrid-mp"):
+    if name in ("mp-parallel", "pipelined", "hybrid-mp"):
         return [
             (TunableParams(cpu_tile=t), w)
             for t in tiles
@@ -465,9 +480,13 @@ def profile_host(
         },
     )
     # Reference backend first within every instance (serial baselines), then
-    # the cheap whole-grid engines, then the tiled/multicore sweeps.
+    # the cheap whole-grid engines, then the tiled/multicore sweeps.  Backends
+    # whose availability probe fails here (e.g. the compiled tier without
+    # numba) are skipped, so one profile grid works across environments.
     ordered_backends = [REFERENCE_BACKEND] + [
-        b for b in config.backends if b != REFERENCE_BACKEND
+        b
+        for b in config.backends
+        if b != REFERENCE_BACKEND and _backend_available(b)
     ]
     t_start = time.perf_counter()
     truncated = False

@@ -76,16 +76,21 @@ class SearchSpace:
 
     @property
     def cpu_backends(self) -> tuple[str, ...]:
-        """CPU backend dimension: the serial engines plus the multicore pool.
+        """CPU backend dimension: serial engines, multicore pools, compiled tier.
 
-        ``mp-parallel`` shares the vectorized engine's NumPy gate (its tile
-        sweeps are the same batched evaluation), so it is offered exactly
-        when ``vectorized`` is.
+        ``mp-parallel`` and its barrier-free sibling ``pipelined`` share the
+        vectorized engine's NumPy gate (their tile sweeps are the same
+        batched evaluation), so they are offered exactly when ``vectorized``
+        is.  The ``compiled`` tier enters the dimension only when its
+        availability probe passes (Numba importable) — resolved through the
+        registry's capability index, so the tuner never hard-codes the gate.
         """
+        from repro.runtime.registry import engines_with
+
         engines = self.engines
         if "vectorized" in engines:
-            return engines + ("mp-parallel",)
-        return engines
+            engines = engines + ("mp-parallel", "pipelined")
+        return engines + tuple(engines_with("compiled"))
 
     def mp_tile_candidates(self, instance: InputParams) -> tuple[int, ...]:
         """Candidate tile sides for the multicore backend on ``instance``.
@@ -108,6 +113,17 @@ class SearchSpace:
         """mp-parallel runtime at ``workers``, tile fixed or co-optimised."""
         tiles = (cpu_tile,) if cpu_tile is not None else self.mp_tile_candidates(instance)
         return min(model.mp_parallel_time(instance, tile, workers) for tile in tiles)
+
+    def _pipelined_time(
+        self,
+        model: CostModel,
+        instance: InputParams,
+        cpu_tile: int | None,
+        workers: int,
+    ) -> float:
+        """Pipelined-dispatch runtime at ``workers`` (tile fixed or co-optimised)."""
+        tiles = (cpu_tile,) if cpu_tile is not None else self.mp_tile_candidates(instance)
+        return min(model.pipelined_time(instance, tile, workers) for tile in tiles)
 
     def best_workers(
         self,
@@ -139,7 +155,8 @@ class SearchSpace:
         """Cheapest CPU backend for ``instance`` and its worker count.
 
         Returns ``(backend, workers)``; ``workers`` is 1 for the single-core
-        engines and :meth:`best_workers` for ``mp-parallel``.  As in
+        engines (and the compiled tier) and :meth:`best_workers` for the
+        multicore backends (``mp-parallel`` and ``pipelined``).  As in
         :meth:`best_workers`, ``cpu_tile=None`` co-optimises the multicore
         backend's tile side.
         """
@@ -149,10 +166,12 @@ class SearchSpace:
         def runtime(backend: str) -> float:
             if backend == "mp-parallel":
                 return self._mp_time(model, instance, cpu_tile, workers)
+            if backend == "pipelined":
+                return self._pipelined_time(model, instance, cpu_tile, workers)
             return model.engine_time(backend, instance)
 
         best = min(self.cpu_backends, key=runtime)
-        return best, (workers if best == "mp-parallel" else 1)
+        return best, (workers if best in ("mp-parallel", "pipelined") else 1)
 
     def instances(self) -> Iterator[InputParams]:
         """All (dim, tsize, dsize) instances of the space."""

@@ -76,6 +76,7 @@ from repro.core.exceptions import (
 from repro.core.parameter_space import ParameterSpace
 from repro.core.params import TunableParams
 from repro.facade.plan import load_plan, save_plan
+from repro.facade.policy import ExecutionPolicy
 from repro.facade.tuners import TUNER_KINDS
 from repro.hardware import platforms
 from repro.server.loadgen import DEFAULT_MIX
@@ -642,7 +643,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             plan = load_plan(args.replay)
             print(f"replaying plan from {args.replay}")
         else:
-            plan_kwargs: dict = {}
+            policy_kwargs: dict = {}
             if args.backend is not None:
                 if args.dim is None:
                     raise UsageError("--backend needs an explicit --dim")
@@ -654,11 +655,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                         f"backend {args.backend!r} cannot run on system "
                         f"{session.system.name!r}"
                     )
-                plan_kwargs["backend"] = args.backend
-                plan_kwargs["tunables"] = tunables
+                policy_kwargs["backend"] = args.backend
+                policy_kwargs["tunables"] = tunables
             if args.workers is not None:
-                plan_kwargs["workers"] = args.workers
-            plan = session.plan(args.app, args.dim, **plan_kwargs)
+                policy_kwargs["workers"] = args.workers
+            plan = session.plan(
+                args.app, args.dim, policy=ExecutionPolicy(**policy_kwargs)
+            )
         print(f"plan: {plan.describe()}")
         if args.plan_out is not None:
             save_plan(plan, args.plan_out)
@@ -677,7 +680,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             reference = session.solve(
                 plan.app,
                 plan.dim,
-                backend="serial",
+                policy=ExecutionPolicy(backend="serial"),
                 mode="functional",
                 **plan.app_options,
             )
@@ -782,10 +785,12 @@ def _bench_tunables(executor: str, dim: int, max_gpus: int) -> TunableParams | N
         return TunableParams()
     if executor == "cpu-parallel":
         return TunableParams(cpu_tile=8)
-    if executor == "mp-parallel":
+    if executor in ("mp-parallel", "pipelined"):
         # Coarse tiles amortise the per-tile pool dispatch while still
-        # exposing enough tile-parallelism across a wave.
+        # exposing enough tile-parallelism across a wave (barriered or not).
         return TunableParams(cpu_tile=max(32, dim // 8))
+    if executor == "compiled":
+        return TunableParams()
     if executor == "gpu-only-single":
         if max_gpus < 1:
             return None
@@ -843,14 +848,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 tunables = _bench_tunables(executor_name, args.dim, system.max_usable_gpus)
                 if tunables is None:
                     continue
-                plan_kwargs: dict = {"backend": executor_name, "tunables": tunables}
+                policy_kwargs: dict = {
+                    "backend": executor_name,
+                    "tunables": tunables,
+                }
                 if executor_name == "hybrid":
                     # The paper's tiled serial CPU phases (the historical
                     # bench configuration), not the session's default engine.
-                    plan_kwargs["engine"] = "serial"
-                if executor_name == "mp-parallel" and args.workers is not None:
-                    plan_kwargs["workers"] = args.workers
-                plan = session.plan(app_name, args.dim, **plan_kwargs)
+                    policy_kwargs["engine"] = "serial"
+                if (
+                    executor_name in ("mp-parallel", "pipelined")
+                    and args.workers is not None
+                ):
+                    policy_kwargs["workers"] = args.workers
+                plan = session.plan(
+                    app_name, args.dim, policy=ExecutionPolicy(**policy_kwargs)
+                )
                 walls = []
                 result = None
                 for _ in range(args.repeats):

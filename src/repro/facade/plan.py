@@ -52,6 +52,11 @@ class ResolvedPlan:
     system: str
     engine: str | None = None
     workers: int = 1
+    #: Tile dispatch order of the multicore backends: ``"barrier"`` fans
+    #: tile-diagonals with a barrier between them, ``"pipelined"`` drains the
+    #: dependency graph with no barrier at all.  Single-core backends ignore
+    #: it.  Plans persisted before the field existed load as ``"barrier"``.
+    dispatch: str = "barrier"
     tuner: str = "manual"
     expected_s: float | None = None
     app_kwargs: tuple[tuple[str, object], ...] = ()
@@ -80,6 +85,8 @@ class ResolvedPlan:
         strategy, engine = self.split()
         engine_txt = f", engine={engine}" if engine else ""
         workers_txt = f", workers={self.workers}" if self.workers > 1 else ""
+        if self.dispatch != "barrier":
+            workers_txt += f", dispatch={self.dispatch}"
         expected_txt = (
             f"  ~{self.expected_s * 1e3:.2f} ms expected"
             if self.expected_s is not None
@@ -115,6 +122,7 @@ class ResolvedPlan:
             "backend": self.backend,
             "engine": self.engine,
             "workers": self.workers,
+            "dispatch": self.dispatch,
             "system": self.system,
             "tuner": self.tuner,
             "expected_s": self.expected_s,
@@ -154,6 +162,7 @@ class ResolvedPlan:
             backend=str(data["backend"]),
             engine=data.get("engine"),
             workers=int(data.get("workers", 1)),
+            dispatch=str(data.get("dispatch", "barrier")),
             system=str(data["system"]),
             tuner=str(data.get("tuner", "manual")),
             expected_s=(

@@ -82,6 +82,10 @@ class CostConstants:
     cpu_vector_speedup: float = 6.0
     #: Per-diagonal batch dispatch overhead of the vectorized engine.
     vector_diag_overhead_us: float = 2.0
+    #: Per-cell speedup of the compiled (JIT whole-grid) tier over the scalar
+    #: serial sweep; recalibrated from measured compiled walls when a profile
+    #: includes them.
+    compiled_speedup: float = 12.0
     #: Per-tile dispatch cost of the shared-memory process pool (submitting
     #: the tile descriptor, collecting the result, barrier bookkeeping).
     mp_task_overhead_us: float = 60.0
@@ -210,7 +214,18 @@ class CostModel:
             return self.serial_time(params)
         if engine == "vectorized":
             return self.vectorized_time(params)
+        if engine == "compiled":
+            return self.compiled_time(params)
         raise InvalidParameterError(f"unknown serial engine {engine!r}")
+
+    def compiled_time(self, params: InputParams) -> float:
+        """Single-core compiled (JIT) tier: whole-grid scalar fill, no batches.
+
+        The compiled fill visits cells in row-major order with no per-diagonal
+        dispatch at all, so the model is a pure per-cell rate — the serial
+        scalar cost divided by the calibrated compiled speedup.
+        """
+        return self.serial_time(params) / self.constants.compiled_speedup
 
     def cpu_region_time(
         self, params: InputParams, n_diagonals: int, cells: int, cpu_tile: int
@@ -287,6 +302,33 @@ class CostModel:
         startup = c.mp_worker_startup_s * workers
         return startup + (ideal_rounds / efficiency) * tile_time
 
+    def pipelined_time(self, params: InputParams, cpu_tile: int, workers: int) -> float:
+        """Dependency-driven multicore backend: no barrier between tile waves.
+
+        Same per-tile cost as :meth:`mp_parallel_time`, but the per-wave
+        straggler term (the division by the wavefront's parallel-efficiency)
+        disappears: with tiles released the moment their neighbours retire,
+        the run is bound by whichever is longer of the perfectly-balanced
+        work share and the tile-diagonal dependency chain — never by partial
+        waves idling workers at a barrier.
+        """
+        workers = max(1, int(workers))
+        if workers < 2:
+            return self.vectorized_time(params)
+        c = self.constants
+        tile = max(1, min(cpu_tile, params.dim))
+        decomp = TileDecomposition(params.dim, params.dim, tile)
+        point = self.cpu_point_time(params) / c.cpu_vector_speedup
+        tile_time = (
+            tile * tile * point
+            + (2 * tile - 1) * c.vector_diag_overhead_us * 1e-6
+            + c.mp_task_overhead_us * 1e-6
+        )
+        ideal_rounds = decomp.n_tiles / workers
+        critical_chain = decomp.n_tile_diagonals
+        startup = c.mp_worker_startup_s * workers
+        return startup + max(ideal_rounds, critical_chain) * tile_time
+
     def cpu_backend_time(
         self,
         backend: str,
@@ -298,6 +340,9 @@ class CostModel:
         if backend == "mp-parallel":
             effective = workers if workers is not None else self.system.cpu.workers
             return self.mp_parallel_time(params, cpu_tile, effective)
+        if backend == "pipelined":
+            effective = workers if workers is not None else self.system.cpu.workers
+            return self.pipelined_time(params, cpu_tile, effective)
         if backend == "cpu-parallel":
             return self.cpu_parallel_time(params, cpu_tile)
         return self.engine_time(backend, params)

@@ -34,21 +34,27 @@ from repro.runtime.vectorized import (
     numpy_available,
 )
 from repro.runtime.cpu_parallel import CPUParallelExecutor
+from repro.runtime.compiled import CompiledExecutor, compiled_fill_for, numba_available
 from repro.runtime.mp_parallel import (
     MPParallelExecutor,
     MPWavefrontPool,
+    PipelinedMPExecutor,
     TileSweeper,
     resolve_worker_count,
 )
+from repro.runtime.scheduler import DependencyGraph, PipelinedSchedule, run_pipelined
 from repro.runtime.shared_grid import SharedGridBuffer
 from repro.runtime.gpu_single import SingleGPUBandExecutor
 from repro.runtime.gpu_multi import MultiGPUBandExecutor
 from repro.runtime.hybrid import HybridExecutor
 from repro.runtime.registry import (
+    ENGINE_SPECS,
     EXECUTORS,
+    EngineSpec,
     available_executors,
     available_serial_engines,
     default_serial_executor,
+    engines_with,
     get_executor,
     register_executor,
 )
@@ -65,16 +71,26 @@ __all__ = [
     "engine_for",
     "numpy_available",
     "CPUParallelExecutor",
+    "CompiledExecutor",
+    "compiled_fill_for",
+    "numba_available",
     "MPParallelExecutor",
     "MPWavefrontPool",
+    "PipelinedMPExecutor",
     "TileSweeper",
+    "DependencyGraph",
+    "PipelinedSchedule",
+    "run_pipelined",
     "SharedGridBuffer",
     "resolve_worker_count",
     "SingleGPUBandExecutor",
     "MultiGPUBandExecutor",
     "HybridExecutor",
+    "ENGINE_SPECS",
     "EXECUTORS",
+    "EngineSpec",
     "available_executors",
+    "engines_with",
     "available_serial_engines",
     "default_serial_executor",
     "get_executor",

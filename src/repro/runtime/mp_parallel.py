@@ -35,7 +35,11 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
-from repro.core.exceptions import ExecutionError, WorkerCrashError
+from repro.core.exceptions import (
+    ExecutionError,
+    InvalidParameterError,
+    WorkerCrashError,
+)
 from repro.core.grid import WavefrontGrid
 from repro.core.params import TunableParams
 from repro.core.pattern import WavefrontProblem
@@ -43,7 +47,12 @@ from repro.core.tiling import Tile, TileDecomposition
 from repro.hardware.costmodel import PhaseBreakdown
 from repro.hardware.system import SystemSpec
 from repro.runtime.executor_base import Executor
-from repro.runtime.scheduler import TileScheduler, run_schedule
+from repro.runtime.scheduler import (
+    PipelinedSchedule,
+    TileScheduler,
+    run_pipelined,
+    run_schedule,
+)
 from repro.runtime.shared_grid import SharedGridBuffer
 from repro.runtime.vectorized import TileSweeper, engine_for
 
@@ -155,6 +164,7 @@ class MPWavefrontPool:
         self.tile = int(tile)
         self.workers = max(1, int(workers))
         self.scheduler = TileScheduler(self.decomposition, workers=self.workers)
+        self.pipeline = PipelinedSchedule(self.decomposition)
         self._pool: ProcessPoolExecutor | None = None
         self._buffer: SharedGridBuffer | None = None
         self._orig_values: np.ndarray | None = None
@@ -242,22 +252,36 @@ class MPWavefrontPool:
             self._orig_values = None
         self.grid = None
 
-    def run_range(self, d_lo: int, d_hi: int) -> tuple[int, int]:
+    def run_range(
+        self, d_lo: int, d_hi: int, dispatch: str = "barrier"
+    ) -> tuple[int, int]:
         """Execute the tile wavefront over cell diagonals ``[d_lo, d_hi]``.
 
-        Returns ``(tiles_executed, cells_computed)``.  Within each
-        tile-diagonal the (range-intersecting) tiles are fanned across the
-        workers; tile-diagonals are separated by a barrier.
+        Returns ``(tiles_executed, cells_computed)``.  ``dispatch`` selects
+        how tiles reach the workers: ``"barrier"`` fans each tile-diagonal
+        across the pool and barriers between diagonals
+        (:func:`~repro.runtime.scheduler.run_schedule`); ``"pipelined"``
+        drains a :class:`~repro.runtime.scheduler.DependencyGraph` instead,
+        starting any tile the moment its west/north/north-west neighbours
+        retire (:func:`~repro.runtime.scheduler.run_pipelined`).  Both
+        orders respect the exact dependency contract of
+        :meth:`~repro.runtime.vectorized.TileSweeper.sweep_tile`, so the
+        resulting grids are bit-identical.
         """
+        if dispatch not in ("barrier", "pipelined"):
+            raise InvalidParameterError(
+                f"unknown dispatch mode {dispatch!r}; expected 'barrier' or "
+                "'pipelined'"
+            )
         if d_hi < d_lo:
             return 0, 0
         if self.grid is None:
             raise ExecutionError("MPWavefrontPool.run_range called with no grid bound")
         if self._pool is None or self._orig_values is None:
             # Single-core (or dtype-fallback) path: whole-diagonal batches,
-            # no tile penalty.
+            # no tile penalty.  Dispatch order is moot with one in-process
+            # worker, so both modes share this sweep.
             return 0, engine_for(self.problem).sweep(self.grid, d_lo, d_hi)
-        waves = self.scheduler.waves(d_lo, d_hi)
         cells = 0
 
         def collect(n: object) -> None:
@@ -265,9 +289,20 @@ class MPWavefrontPool:
             cells += int(n)  # type: ignore[arg-type]
 
         try:
-            executed = run_schedule(
-                waves, _TileTask(d_lo, d_hi), pool=self._pool, collect=collect
-            )
+            if dispatch == "pipelined":
+                executed = run_pipelined(
+                    self.pipeline.graph(d_lo, d_hi),
+                    _TileTask(d_lo, d_hi),
+                    pool=self._pool,
+                    collect=collect,
+                )
+            else:
+                executed = run_schedule(
+                    self.scheduler.waves(d_lo, d_hi),
+                    _TileTask(d_lo, d_hi),
+                    pool=self._pool,
+                    collect=collect,
+                )
         except BrokenProcessPool as crash:
             # A worker died (killed, OOM, segfault).  Mark the pool broken —
             # it can never run again — and surface a typed error so the
@@ -311,6 +346,8 @@ class MPParallelExecutor(Executor):
     """
 
     strategy = "mp-parallel"
+    #: Tile dispatch order handed to :meth:`MPWavefrontPool.run_range`.
+    dispatch = "barrier"
 
     def __init__(
         self,
@@ -348,19 +385,22 @@ class MPParallelExecutor(Executor):
             pool = self.pool_source(problem, tunables.cpu_tile, workers)
             pool.bind(grid)
             try:
-                executed, cells = pool.run_range(0, 2 * problem.dim - 2)
+                executed, cells = pool.run_range(
+                    0, 2 * problem.dim - 2, dispatch=self.dispatch
+                )
                 stats = self._pool_stats(pool, executed, cells)
                 stats["pool"] = "borrowed"
             finally:
                 pool.release()
             return grid, stats
         with MPWavefrontPool(problem, grid, tunables.cpu_tile, workers) as pool:
-            executed, cells = pool.run_range(0, 2 * problem.dim - 2)
+            executed, cells = pool.run_range(
+                0, 2 * problem.dim - 2, dispatch=self.dispatch
+            )
             stats = self._pool_stats(pool, executed, cells)
         return grid, stats
 
-    @staticmethod
-    def _pool_stats(pool: MPWavefrontPool, executed: int, cells: int) -> dict:
+    def _pool_stats(self, pool: MPWavefrontPool, executed: int, cells: int) -> dict:
         """The per-run statistics block shared by both pool ownership modes.
 
         ``mode`` reports how *this run* executed (the dtype fallback sweeps
@@ -372,6 +412,7 @@ class MPParallelExecutor(Executor):
             "cells_computed": cells,
             "tile_waves": pool.scheduler.n_waves,
             "workers": pool.workers,
+            "dispatch": self.dispatch,
             "mode": "process-pool" if pool.bound_multiprocess else "in-process",
         }
 
@@ -379,3 +420,28 @@ class MPParallelExecutor(Executor):
         # A pure-CPU strategy: keep the cpu_tile choice, drop GPU settings.
         tunables = tunables.clipped(problem.dim)
         return TunableParams(cpu_tile=tunables.cpu_tile)
+
+
+class PipelinedMPExecutor(MPParallelExecutor):
+    """Dependency-driven multicore execution: no barrier between tile waves.
+
+    Identical to :class:`MPParallelExecutor` in every observable output —
+    same shared grid, same per-worker tile sweeps, bit-identical grids and
+    witnesses — but tiles are dispatched through the
+    :class:`~repro.runtime.scheduler.DependencyGraph` of the pool instead of
+    barrier-separated waves, so a tile of wave ``d + 1`` starts the moment
+    its three neighbour tiles retire even while wave ``d`` stragglers are
+    still running.  The cost model drops the per-wave straggler term
+    accordingly (:meth:`repro.hardware.costmodel.CostModel.pipelined_time`).
+    """
+
+    strategy = "pipelined"
+    dispatch = "pipelined"
+
+    def _breakdown(self, problem: WavefrontProblem, tunables: TunableParams) -> PhaseBreakdown:
+        params = problem.input_params()
+        return PhaseBreakdown(
+            pre_s=self.cost_model.pipelined_time(
+                params, tunables.cpu_tile, self._resolved_workers()
+            )
+        )

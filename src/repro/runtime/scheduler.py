@@ -8,16 +8,26 @@ data so both the functional executors and the tests can inspect it, and
 persistent :class:`concurrent.futures.Executor` — the multicore backend
 (:mod:`repro.runtime.mp_parallel`) passes its worker-process pool so each
 wave fans its tiles across real cores with a barrier per tile-diagonal.
+
+The barrier is not required for correctness — a tile only reads its west,
+north and north-west neighbour tiles — so the module also provides the
+*pipelined* alternative: :class:`DependencyGraph` tracks per-tile
+remaining-predecessor counts, :class:`PipelinedSchedule` builds range-clipped
+graphs the way :meth:`TileScheduler.waves` builds clipped wave lists, and
+:func:`run_pipelined` drains the graph, starting a tile the moment its three
+neighbours retire, so tiles of wave ``d + 1`` overlap wave ``d`` stragglers.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures import Executor as FuturesExecutor
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import ExecutionError, InvalidParameterError
 from repro.core.tiling import Tile, TileDecomposition
 
 
@@ -141,4 +151,181 @@ def run_schedule(
                 if collect is not None:
                     collect(result)
             executed += len(futures)
+    return executed
+
+
+class DependencyGraph:
+    """Dependency-counted readiness tracking over the tile wavefront.
+
+    Each tile of a :class:`~repro.core.tiling.TileDecomposition` (optionally
+    clipped to the cell-diagonal range ``[d_lo, d_hi]``) depends on its west,
+    north and north-west neighbour tiles — exactly the cells
+    :meth:`~repro.runtime.vectorized.TileSweeper.sweep_tile` reads, which is
+    why executing tiles in any retirement-respecting order reproduces the
+    barriered sweep bit for bit.  Predecessors that fall outside the clipped
+    range contain no cells in ``[d_lo, d_hi]``; their cells precede ``d_lo``
+    and are final by the range-sweep precondition, so they are not counted.
+
+    The protocol is ``acquire()`` (pop one ready tile, ``None`` when nothing
+    is ready right now) / ``retire(tile)`` (mark complete, releasing any
+    successors whose last predecessor this was).  Both ends are strict:
+    retiring a tile that was never acquired, or twice, raises
+    :class:`~repro.core.exceptions.ExecutionError`.  Readiness order is
+    deterministic — the initial ready tile plus FIFO release order — so the
+    sequential drain visits tiles in a reproducible order.
+    """
+
+    def __init__(
+        self,
+        decomposition: TileDecomposition,
+        d_lo: int | None = None,
+        d_hi: int | None = None,
+    ) -> None:
+        clip = d_lo is not None or d_hi is not None
+        lo = 0 if d_lo is None else d_lo
+        hi = (decomposition.rows + decomposition.cols - 2) if d_hi is None else d_hi
+        self.decomposition = decomposition
+        self._tiles: dict[tuple[int, int], Tile] = {}
+        for tile in decomposition.all_tiles():
+            if not clip or tile_intersects_range(tile, lo, hi):
+                self._tiles[(tile.tile_row, tile.tile_col)] = tile
+        self._remaining: dict[tuple[int, int], int] = {}
+        self._successors: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self._ready: deque[tuple[int, int]] = deque()
+        self._acquired: set[tuple[int, int]] = set()
+        self._retired: set[tuple[int, int]] = set()
+        # Wave order (tile-diagonal, then tile-row) seeds the ready queue so
+        # the sequential drain matches the barriered visit order.
+        for key in sorted(self._tiles, key=lambda k: (k[0] + k[1], k[0])):
+            tr, tc = key
+            preds = [
+                p
+                for p in ((tr - 1, tc), (tr, tc - 1), (tr - 1, tc - 1))
+                if p in self._tiles
+            ]
+            self._remaining[key] = len(preds)
+            for p in preds:
+                self._successors.setdefault(p, []).append(key)
+            if not preds:
+                self._ready.append(key)
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles tracked (after range clipping)."""
+        return len(self._tiles)
+
+    @property
+    def done(self) -> bool:
+        """True once every tracked tile has been retired."""
+        return len(self._retired) == len(self._tiles)
+
+    def ready_count(self) -> int:
+        """Number of tiles currently ready to acquire."""
+        return len(self._ready)
+
+    def acquire(self) -> Tile | None:
+        """Pop one ready tile, or ``None`` when none is ready right now."""
+        if not self._ready:
+            return None
+        key = self._ready.popleft()
+        self._acquired.add(key)
+        return self._tiles[key]
+
+    def retire(self, tile: Tile) -> list[Tile]:
+        """Mark an acquired tile complete; returns the newly-released tiles."""
+        key = (tile.tile_row, tile.tile_col)
+        if key not in self._acquired:
+            raise ExecutionError(
+                f"tile {key} retired without being acquired (not tracked or "
+                "never handed out)"
+            )
+        if key in self._retired:
+            raise ExecutionError(f"tile {key} retired twice")
+        self._retired.add(key)
+        released: list[Tile] = []
+        for succ in self._successors.get(key, ()):
+            self._remaining[succ] -= 1
+            if self._remaining[succ] == 0:
+                self._ready.append(succ)
+                released.append(self._tiles[succ])
+        return released
+
+
+class PipelinedSchedule:
+    """Range-clipped :class:`DependencyGraph` factory for one decomposition.
+
+    The dependency-counted counterpart of :class:`TileScheduler`: where the
+    scheduler emits barrier-separated waves, this hands out fresh graphs for
+    each swept cell-diagonal range and exposes the same aggregate shape
+    numbers the cost model reasons about.
+    """
+
+    def __init__(self, decomposition: TileDecomposition) -> None:
+        self.decomposition = decomposition
+
+    def graph(self, d_lo: int | None = None, d_hi: int | None = None) -> DependencyGraph:
+        """A fresh dependency graph clipped to ``[d_lo, d_hi]``."""
+        return DependencyGraph(self.decomposition, d_lo, d_hi)
+
+    @property
+    def critical_path(self) -> int:
+        """Length of the longest dependency chain (the tile-diagonal count)."""
+        return self.decomposition.n_tile_diagonals
+
+
+def run_pipelined(
+    graph: DependencyGraph,
+    tile_fn: Callable[[Tile], object],
+    pool: FuturesExecutor | None = None,
+    collect: Callable[[object], None] | None = None,
+) -> int:
+    """Drain a dependency graph; returns the number of tiles executed.
+
+    With ``pool``, every currently-ready tile is submitted at once and each
+    completion immediately retires the tile and submits whatever it released
+    — no barrier ever forms, so a straggler in one tile-diagonal only delays
+    its own successors.  Without a pool the graph is drained sequentially in
+    its deterministic readiness order.  ``collect`` receives each tile's
+    return value in completion order.  A graph that stalls with work left
+    (nothing ready, nothing in flight, not done) raises
+    :class:`~repro.core.exceptions.ExecutionError` rather than hanging.
+    """
+    executed = 0
+    if pool is None:
+        tile = graph.acquire()
+        while tile is not None:
+            result = tile_fn(tile)
+            if collect is not None:
+                collect(result)
+            executed += 1
+            graph.retire(tile)
+            tile = graph.acquire()
+        if not graph.done:
+            raise ExecutionError(
+                f"pipelined drain starved with {graph.n_tiles - executed} "
+                "tiles unexecuted (cyclic or inconsistent dependency graph)"
+            )
+        return executed
+
+    pending: dict[object, Tile] = {}
+    while True:
+        tile = graph.acquire()
+        while tile is not None:
+            pending[pool.submit(tile_fn, tile)] = tile
+            tile = graph.acquire()
+        if not pending:
+            break
+        completed, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in completed:
+            done_tile = pending.pop(future)
+            result = future.result()
+            if collect is not None:
+                collect(result)
+            executed += 1
+            graph.retire(done_tile)
+    if not graph.done:
+        raise ExecutionError(
+            f"pipelined drain starved with {graph.n_tiles - executed} "
+            "tiles unexecuted (cyclic or inconsistent dependency graph)"
+        )
     return executed

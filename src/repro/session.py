@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.apps.base import WavefrontApplication
@@ -56,6 +57,7 @@ from repro.core.params import TunableParams
 from repro.core.parameter_space import ParameterSpace
 from repro.core.pattern import WavefrontProblem
 from repro.facade.plan import ResolvedPlan
+from repro.facade.policy import ExecutionPolicy
 from repro.facade.tuners import make_tuner
 from repro.hardware.costmodel import CostConstants
 from repro.hardware.platforms import resolve_system
@@ -218,7 +220,7 @@ class Session:
         """
         with self._plan_lock:
             self._check_open()
-            query = (plan.app, plan.dim, plan.app_kwargs, None, None, None, None)
+            query = (plan.app, plan.dim, plan.app_kwargs, None, None, None, None, None)
             self.stats["plans_adopted"] += 1
             return self._plans.put(query, plan)
 
@@ -246,6 +248,7 @@ class Session:
         app: str | WavefrontApplication | WavefrontProblem,
         dim: int | None = None,
         *,
+        policy: ExecutionPolicy | None = None,
         backend: str | None = None,
         engine: str | None = None,
         workers: int | None = None,
@@ -258,9 +261,14 @@ class Session:
         its constructor), an application instance, or a bare
         :class:`~repro.core.pattern.WavefrontProblem`.  Without overrides
         the session's tuner decides backend, workers and tunables; passing
-        ``backend`` (and optionally ``tunables``/``engine``/``workers``)
-        pins an explicit configuration and bypasses the tuner entirely —
-        the plan's ``tuner`` field then reads ``"manual"``.
+        a ``policy`` (:class:`~repro.facade.policy.ExecutionPolicy`) whose
+        ``backend`` (or ``tunables``) is set pins an explicit configuration
+        and bypasses the tuner entirely — the plan's ``tuner`` field then
+        reads ``"manual"``.  The bare ``backend=``/``engine=``/``workers=``/
+        ``tunables=`` keywords are the **deprecated** spelling of the same
+        overrides: they coerce into a policy and emit a
+        :class:`DeprecationWarning`; combining them with ``policy=`` is a
+        :class:`~repro.core.exceptions.UsageError`.
 
         Registry-name requests are cached per (instance, overrides) query,
         so repeated requests cost one LRU hit.  Caller-supplied application
@@ -270,6 +278,7 @@ class Session:
         :meth:`run` executes exactly what was handed in.
         """
         self._check_open()
+        policy = self._coerce_policy(policy, backend, engine, workers, tunables)
         with self._plan_lock:
             if isinstance(app, WavefrontProblem):
                 if app_kwargs:
@@ -277,9 +286,7 @@ class Session:
                         "constructor arguments cannot be applied to an "
                         "already-built problem"
                     )
-                return self._resolve(
-                    app, app.name, (), backend, engine, workers, tunables
-                )
+                return self._resolve(app, app.name, (), policy)
             if isinstance(app, WavefrontApplication):
                 if app_kwargs:
                     raise UsageError(
@@ -288,23 +295,59 @@ class Session:
                     )
                 dim = dim if dim is not None else app.default_dim
                 problem = self._instance_problem(app, dim)
-                return self._resolve(
-                    problem, app.name, (), backend, engine, workers, tunables
-                )
+                return self._resolve(problem, app.name, (), policy)
             app_obj = resolve_application(app, **self._ctor_kwargs(dim, app_kwargs))
             dim = dim if dim is not None else app_obj.default_dim
             kwargs_key = tuple(sorted(app_kwargs.items()))
-            query = (app, dim, kwargs_key, backend, engine, workers, tunables)
+            query = (
+                app,
+                dim,
+                kwargs_key,
+                policy.backend,
+                policy.engine,
+                policy.workers,
+                policy.tunables,
+                policy.dispatch,
+            )
             cached = self._plans.get(query)
             if cached is not None:
                 return cached
             problem = self._problems.get_or_create(
                 (app, dim, kwargs_key), lambda: app_obj.problem(dim)
             )
-            plan = self._resolve(
-                problem, app, kwargs_key, backend, engine, workers, tunables
-            )
+            plan = self._resolve(problem, app, kwargs_key, policy)
             return self._plans.put(query, plan)
+
+    @staticmethod
+    def _coerce_policy(
+        policy: ExecutionPolicy | None, backend, engine, workers, tunables
+    ) -> ExecutionPolicy:
+        """One :class:`ExecutionPolicy` from either spelling of the overrides."""
+        legacy = (
+            backend is not None
+            or engine is not None
+            or workers is not None
+            or tunables is not None
+        )
+        if policy is not None:
+            if legacy:
+                raise UsageError(
+                    "pass overrides either as policy= or as the legacy "
+                    "backend=/engine=/workers=/tunables= keywords, not both"
+                )
+            return policy
+        if legacy:
+            warnings.warn(
+                "the backend=/engine=/workers=/tunables= keywords of "
+                "Session.plan()/solve() are deprecated; pass "
+                "policy=ExecutionPolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return ExecutionPolicy(
+                backend=backend, engine=engine, workers=workers, tunables=tunables
+            )
+        return ExecutionPolicy()
 
     @staticmethod
     def _ctor_kwargs(dim, app_kwargs: dict) -> dict:
@@ -328,32 +371,34 @@ class Session:
             entry = self._problems.put(key, (app, app.problem(dim)))
         return entry[1]
 
-    def _resolve(
-        self, problem, name, kwargs_key, backend, engine, workers, tunables
-    ) -> ResolvedPlan:
-        """Combine the tuner's decision with any caller overrides."""
+    def _resolve(self, problem, name, kwargs_key, policy: ExecutionPolicy) -> ResolvedPlan:
+        """Combine the tuner's decision with the policy's overrides."""
         params = problem.input_params()
-        if backend is not None or tunables is not None:
+        if policy.backend is not None or policy.tunables is not None:
             decision = PlanDecision(
-                backend=backend if backend is not None else "hybrid",
-                tunables=tunables if tunables is not None else TunableParams(),
-                workers=workers if workers is not None else 1,
-                engine=engine,
+                backend=policy.backend if policy.backend is not None else "hybrid",
+                tunables=(
+                    policy.tunables if policy.tunables is not None else TunableParams()
+                ),
+                workers=policy.workers if policy.workers is not None else 1,
+                engine=policy.engine,
             )
             source = "manual"
         else:
             decision = self.tuner.resolve(name, params)
             self.stats["plans_resolved"] += 1
             source = self.tuner.kind
-            if engine is not None:
+            if policy.engine is not None:
                 decision = PlanDecision(
                     backend=decision.backend,
                     tunables=decision.tunables,
                     workers=decision.workers,
-                    engine=engine,
+                    engine=policy.engine,
                     expected_s=decision.expected_s,
                 )
-        resolved_workers = workers if workers is not None else decision.workers
+        resolved_workers = (
+            policy.workers if policy.workers is not None else decision.workers
+        )
         if self.workers is not None:
             resolved_workers = self.workers
         return ResolvedPlan(
@@ -364,6 +409,7 @@ class Session:
             backend=decision.backend,
             engine=decision.engine,
             workers=max(1, int(resolved_workers)),
+            dispatch=policy.dispatch if policy.dispatch is not None else "barrier",
             system=self.system.name,
             tuner=source,
             expected_s=decision.expected_s,
@@ -401,7 +447,9 @@ class Session:
         strategy, engine = plan.split()
         with self._run_lock:
             self._check_open()
-            executor = self.host.executor_for(strategy, engine, plan.workers)
+            executor = self.host.executor_for(
+                strategy, engine, plan.workers, dispatch=plan.dispatch
+            )
             self.stats["runs"] += 1
             started = time.perf_counter()
             result = executor.execute(problem, plan.tunables, mode=mode)
@@ -439,19 +487,30 @@ class Session:
         problem requests carry caller-owned state the codec cannot see, and
         simulate-mode answers have no bit-exact payload worth addressing.
         Plan-relevant overrides (``backend``/``engine``/``workers``/
-        ``tunables``) enter the key; un-canonicalisable values make the
-        request silently uncacheable rather than unsolvable.
+        ``tunables``, plus a non-default ``dispatch``) enter the key —
+        whether spelled as a ``policy=`` or as the legacy keywords, the same
+        overrides produce the same key, so persisted caches survive the
+        migration.  Un-canonicalisable values make the request silently
+        uncacheable rather than unsolvable.
         """
         if self.result_cache is None or not isinstance(app, str):
             return None
         resolved_mode = ExecutionMode.coerce(mode) if mode is not None else self.mode
         if resolved_mode is not ExecutionMode.FUNCTIONAL:
             return None
-        overrides = {
-            name: plan_kwargs[name]
-            for name in ("backend", "engine", "workers", "tunables")
-            if plan_kwargs.get(name) is not None
-        }
+        policy = plan_kwargs.get("policy")
+        if isinstance(policy, ExecutionPolicy):
+            overrides = policy.overrides()
+            # Default dispatch is key-invisible so pre-existing cache
+            # entries keep matching.
+            if overrides.get("dispatch") == "barrier":
+                del overrides["dispatch"]
+        else:
+            overrides = {
+                name: plan_kwargs[name]
+                for name in ("backend", "engine", "workers", "tunables")
+                if plan_kwargs.get(name) is not None
+            }
         if self.workers is not None:
             # The session-wide override changes the executed plan, so it
             # must change the key too.

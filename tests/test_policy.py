@@ -1,0 +1,170 @@
+"""Tests of the typed :class:`~repro.facade.policy.ExecutionPolicy` redesign.
+
+Covers the policy value itself (validation, override extraction), its
+acceptance by :meth:`Session.plan`/:meth:`Session.solve`, the equivalence
+and deprecation of the legacy keyword spelling, and the backward-compatible
+plan serialisation (``dispatch`` round-trips; legacy plan files without the
+field load as ``"barrier"``).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ExecutionPolicy, Session
+from repro.core.exceptions import InvalidParameterError, UsageError
+from repro.core.params import TunableParams
+from repro.facade.plan import ResolvedPlan, load_plan, save_plan
+from repro.facade.policy import DISPATCH_MODES
+
+
+class TestPolicyValue:
+    def test_default_policy_is_default(self):
+        policy = ExecutionPolicy()
+        assert policy.is_default
+        assert policy.overrides() == {}
+
+    def test_overrides_lists_only_set_fields(self):
+        policy = ExecutionPolicy(backend="serial", workers=2)
+        assert policy.overrides() == {"backend": "serial", "workers": 2}
+        assert not policy.is_default
+
+    def test_unknown_dispatch_rejected(self):
+        with pytest.raises(InvalidParameterError, match="dispatch"):
+            ExecutionPolicy(dispatch="bogus")
+
+    def test_dispatch_vocabulary(self):
+        assert DISPATCH_MODES == ("barrier", "pipelined")
+        for mode in DISPATCH_MODES:
+            assert ExecutionPolicy(dispatch=mode).dispatch == mode
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(InvalidParameterError, match="workers"):
+            ExecutionPolicy(workers=0)
+
+
+class TestSessionAcceptance:
+    def test_policy_and_legacy_kwargs_resolve_identically(self):
+        with Session() as session:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                legacy = session.plan(
+                    "lcs", 32, backend="serial", tunables=TunableParams()
+                )
+            modern = session.plan(
+                "lcs",
+                32,
+                policy=ExecutionPolicy(backend="serial", tunables=TunableParams()),
+            )
+            assert legacy.backend == modern.backend
+            assert legacy.tunables == modern.tunables
+            assert legacy.workers == modern.workers
+            assert legacy.dispatch == modern.dispatch == "barrier"
+
+    def test_legacy_kwargs_warn(self):
+        with Session() as session:
+            with pytest.warns(DeprecationWarning, match="policy=ExecutionPolicy"):
+                session.plan("lcs", 32, backend="serial")
+
+    def test_both_spellings_is_a_usage_error(self):
+        with Session() as session:
+            with pytest.raises(UsageError, match="not both"):
+                session.plan(
+                    "lcs", 32, policy=ExecutionPolicy(backend="serial"), workers=2
+                )
+
+    def test_policy_dispatch_reaches_plan_and_execution(self):
+        with Session(workers=2) as session:
+            policy = ExecutionPolicy(
+                backend="mp-parallel",
+                tunables=TunableParams(cpu_tile=8),
+                dispatch="pipelined",
+            )
+            plan = session.plan("lcs", 32, policy=policy)
+            assert plan.dispatch == "pipelined"
+            result = session.run(plan)
+            assert result.stats["dispatch"] == "pipelined"
+            reference = session.run(
+                session.plan("lcs", 32, policy=ExecutionPolicy(backend="serial"))
+            )
+            assert np.array_equal(reference.grid.values, result.grid.values)
+
+    def test_distinct_dispatches_are_distinct_plan_cache_entries(self):
+        with Session() as session:
+            manual = ExecutionPolicy(backend="mp-parallel", tunables=TunableParams())
+            barrier = session.plan("lcs", 32, policy=manual)
+            pipelined = session.plan(
+                "lcs",
+                32,
+                policy=ExecutionPolicy(
+                    backend="mp-parallel",
+                    tunables=TunableParams(),
+                    dispatch="pipelined",
+                ),
+            )
+            assert barrier.dispatch == "barrier"
+            assert pipelined.dispatch == "pipelined"
+            assert session.plan("lcs", 32, policy=manual) is barrier
+
+
+class TestPlanSerialisation:
+    def test_dispatch_round_trips(self, tmp_path):
+        with Session() as session:
+            plan = session.plan(
+                "lcs",
+                32,
+                policy=ExecutionPolicy(
+                    backend="mp-parallel",
+                    tunables=TunableParams(cpu_tile=8),
+                    dispatch="pipelined",
+                ),
+            )
+            path = save_plan(plan, tmp_path / "plan.json")
+            loaded = load_plan(path)
+            assert loaded.dispatch == "pipelined"
+            assert loaded == plan.with_(problem=None)
+
+    def test_legacy_plan_dict_without_dispatch_loads_as_barrier(self):
+        with Session() as session:
+            plan = session.plan(
+                "lcs", 32, policy=ExecutionPolicy(backend="serial")
+            )
+        payload = plan.to_dict()
+        del payload["dispatch"]  # a plan file persisted before the field
+        loaded = ResolvedPlan.from_dict(payload)
+        assert loaded.dispatch == "barrier"
+
+    def test_replayed_pipelined_plan_executes(self, tmp_path):
+        with Session(workers=2) as session:
+            plan = session.plan(
+                "lcs",
+                24,
+                policy=ExecutionPolicy(
+                    backend="mp-parallel",
+                    tunables=TunableParams(cpu_tile=8),
+                    workers=2,
+                    dispatch="pipelined",
+                ),
+            )
+            path = save_plan(plan, tmp_path / "plan.json")
+        with Session(workers=2) as fresh:
+            result = fresh.run(load_plan(path))
+            assert result.stats["dispatch"] == "pipelined"
+
+    def test_describe_mentions_nondefault_dispatch_only(self):
+        base = dict(
+            app="lcs",
+            dim=32,
+            params=None,
+            tunables=TunableParams(),
+            backend="mp-parallel",
+            system="local",
+        )
+        from repro.core.params import InputParams
+
+        base["params"] = InputParams(dim=32, tsize=0.5, dsize=0)
+        assert "dispatch" not in ResolvedPlan(**base).describe()
+        assert "dispatch=pipelined" in ResolvedPlan(
+            **base, dispatch="pipelined"
+        ).describe()
